@@ -1,0 +1,17 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every bench regenerates one table/figure/claim from the paper and prints
+a paper-vs-measured comparison (collect with ``pytest benchmarks/
+--benchmark-only -s`` to see the tables; EXPERIMENTS.md records the
+reference output).
+"""
+
+import pytest
+
+from repro.cloud import Cluster
+
+
+@pytest.fixture(scope="session")
+def paper_cluster():
+    """The Table-I experimental cluster: four h1.4xlarge instances."""
+    return Cluster.of("h1.4xlarge", 4)

@@ -1,0 +1,80 @@
+"""E1 — the cost of misconfiguration (Sections I and III.B).
+
+Paper claims: "plausible but under-provisioned cluster setups can slow
+the analytics pipelines by up to 12X [CherryPick] while suboptimal
+framework configurations can lead to 89X performance degradation [DAC]";
+"tuned configuration parameters being able to improve the performance by
+up to 89X compared to the default configuration".
+
+Expected shape: across the suite, worst-vs-best random-config spread of
+one-to-two orders of magnitude, default-vs-best of the same order for at
+least one workload, and a meaningful fraction of plausible random
+configurations crashing outright.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.config import spark_space
+from repro.sparksim import SparkSimulator
+from repro.workloads import get_workload
+
+N_CONFIGS = 80
+WORKLOADS = ["pagerank", "bayes", "sort", "sql-join-agg"]
+
+
+def run_e1(cluster):
+    simulator = SparkSimulator()
+    space = spark_space()
+    rng = np.random.default_rng(1)
+    configs = space.sample_configurations(N_CONFIGS, rng)
+    default = space.default_configuration()
+    out = {}
+    for name in WORKLOADS:
+        workload = get_workload(name)
+        input_mb = workload.inputs.ds2_mb
+        runtimes, failures = [], 0
+        for i, config in enumerate(configs):
+            result = simulator.run(workload, input_mb, cluster, config, seed=i)
+            if result.success:
+                runtimes.append(result.runtime_s)
+            else:
+                failures += 1
+                runtimes.append(result.effective_runtime())
+        default_run = simulator.run(workload, input_mb, cluster, default, seed=0)
+        out[name] = {
+            "best": min(runtimes),
+            "worst": max(runtimes),
+            "default": default_run.effective_runtime(),
+            "failures": failures,
+        }
+    return out
+
+
+@pytest.mark.benchmark(group="e1")
+def test_e1_misconfiguration_cost(benchmark, paper_cluster):
+    stats = benchmark.pedantic(run_e1, args=(paper_cluster,), rounds=1, iterations=1)
+    rows = []
+    for name, s in stats.items():
+        rows.append([
+            name,
+            f"{s['worst'] / s['best']:.0f}x",
+            f"{s['default'] / s['best']:.0f}x",
+            f"{s['failures']}/{N_CONFIGS}",
+        ])
+    print(render_table(
+        "E1: misconfiguration cost (paper: up to 12x cloud / 89x DISC)",
+        ["workload", "worst/best", "default/best", "crashed configs"], rows,
+    ))
+
+    spreads = [s["worst"] / s["best"] for s in stats.values()]
+    default_ratios = [s["default"] / s["best"] for s in stats.values()]
+    # Order-of-magnitude spreads, with at least one workload in the
+    # tens-of-x band the DAC paper reports.
+    assert max(spreads) > 20.0
+    assert all(sp > 5.0 for sp in spreads)
+    assert max(default_ratios) > 10.0
+    # A meaningful fraction of plausible configurations crash.
+    total_failures = sum(s["failures"] for s in stats.values())
+    assert total_failures >= 0.05 * N_CONFIGS * len(stats)

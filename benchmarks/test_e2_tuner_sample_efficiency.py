@@ -1,0 +1,116 @@
+"""E2 — sample efficiency of the surveyed tuning strategies (Section II).
+
+Paper claims woven into the survey: BestConfig needed ~500 executions to
+tune 30 Spark parameters; DAC's models need thousands of executions;
+model-based Bayesian optimization (CherryPick) finds near-optimal
+configurations "using a small number of execution samples"; RL (Bu et
+al.) "fits systems with a limited number of configuration parameters".
+
+This bench runs every strategy with an identical small budget on the
+same workload/cluster/seeds and reports (i) the best runtime found and
+(ii) executions needed to get within 20% of a strong reference optimum.
+
+Expected shape: model-based tuners (BO, tree, DAC) dominate random /
+round-based search at small budgets; hill climbing and Q-learning trail
+on this 12-dimensional space.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.config import spark_core_space
+from repro.sparksim import SparkSimulator
+from repro.tuning import (
+    BayesOptTuner,
+    BestConfigTuner,
+    DACTuner,
+    GeneticTuner,
+    HillClimbTuner,
+    QLearningTuner,
+    RandomSearchTuner,
+    SimulationObjective,
+    TreeTuner,
+    run_tuner,
+)
+from repro.workloads import get_workload
+
+BUDGET = 40
+SEEDS = (0, 1)
+TARGET_FRACTION = 0.2
+
+TUNERS = {
+    "random": lambda s, seed: RandomSearchTuner(s, seed=seed),
+    "bestconfig (DDS+RBS)": lambda s, seed: BestConfigTuner(s, seed=seed, samples_per_round=10),
+    "hillclimb (MROnline)": lambda s, seed: HillClimbTuner(s, seed=seed),
+    "qlearning (Bu et al.)": lambda s, seed: QLearningTuner(s, seed=seed),
+    "genetic": lambda s, seed: GeneticTuner(s, seed=seed, population_size=10),
+    "dac (model+GA)": lambda s, seed: DACTuner(s, seed=seed, n_init=10,
+                                               ga_generations=6, n_trees=12),
+    "tree (Wang et al.)": lambda s, seed: TreeTuner(s, seed=seed, n_init=10, n_trees=15),
+    "bo (CherryPick)": lambda s, seed: BayesOptTuner(s, seed=seed, n_init=10),
+}
+
+MODEL_BASED = {"dac (model+GA)", "tree (Wang et al.)", "bo (CherryPick)"}
+
+
+def _reference_optimum(space, workload, input_mb, cluster):
+    """Strong reference: best of 400 random configurations."""
+    simulator = SparkSimulator()
+    rng = np.random.default_rng(99)
+    best = np.inf
+    for i, config in enumerate(space.sample_configurations(400, rng)):
+        objective = SimulationObjective(workload, input_mb, cluster=cluster,
+                                        simulator=simulator, seed=10_000 + i)
+        best = min(best, objective(config))
+    return best
+
+
+def run_e2(cluster):
+    space = spark_core_space()
+    workload = get_workload("pagerank")
+    input_mb = workload.inputs.ds1_mb
+    reference = _reference_optimum(space, workload, input_mb, cluster)
+    table = {}
+    for name, factory in TUNERS.items():
+        bests, evals_to_target = [], []
+        for seed in SEEDS:
+            objective = SimulationObjective(
+                workload, input_mb, cluster=cluster, seed=500 + seed,
+            )
+            result = run_tuner(factory(space, seed), objective, budget=BUDGET)
+            bests.append(result.best_cost)
+            evals_to_target.append(
+                result.evaluations_to_within(TARGET_FRACTION, reference)
+            )
+        table[name] = {
+            "best": float(np.mean(bests)),
+            "evals": evals_to_target,
+            "reference": reference,
+        }
+    return table
+
+
+@pytest.mark.benchmark(group="e2")
+def test_e2_tuner_sample_efficiency(benchmark, paper_cluster):
+    table = benchmark.pedantic(run_e2, args=(paper_cluster,), rounds=1, iterations=1)
+    reference = next(iter(table.values()))["reference"]
+    rows = []
+    for name, s in table.items():
+        evals = "/".join("-" if e is None else str(e) for e in s["evals"])
+        rows.append([name, s["best"], f"{s['best'] / reference:.2f}x", evals])
+    print(render_table(
+        f"E2: best runtime after {BUDGET} evaluations "
+        f"(reference optimum {reference:.1f}s from 400 random)",
+        ["tuner", "best (s)", "vs reference", "evals to within 20%"], rows,
+    ))
+
+    # Model-based strategies beat plain random at this budget on average.
+    random_best = table["random"]["best"]
+    model_bests = [table[n]["best"] for n in MODEL_BASED]
+    assert min(model_bests) < random_best
+    assert np.mean(model_bests) < random_best * 1.1
+    # The best model-based tuner gets near the 400-sample reference with
+    # ~an order of magnitude fewer executions (the CherryPick claim).
+    reached = [e for n in MODEL_BASED for e in table[n]["evals"] if e is not None]
+    assert reached and min(reached) <= BUDGET

@@ -1,0 +1,130 @@
+"""E3 — tuning-cost amortization (Section IV.C).
+
+Paper's worked example: "the BestConfig system requires 500 execution
+samples to identify a good Spark configuration, and this would consume
+more resources than the 90 'normal' runs of our exemplar workload during
+a 3 months period" — i.e. isolated 500-sample tuning does NOT amortize,
+while (i) data-efficient tuning and (ii) offloading tuning cost to the
+provider both restore the economics.
+
+This bench measures the actual campaign costs in the simulator: a
+BestConfig-style 500-run campaign vs a CherryPick-style ~25-run
+campaign, then feeds real dollars into the amortization model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.cloud import CostLedger
+from repro.config import spark_core_space
+from repro.core import AmortizationInputs, analyze_amortization, probe_configuration
+from repro.sparksim import SparkSimulator
+from repro.tuning import (
+    BayesOptTuner,
+    BestConfigTuner,
+    SimulationObjective,
+    run_tuner,
+)
+from repro.workloads import get_workload
+
+RUNS_PER_MONTH = 30
+MONTHS = 3
+
+
+def _campaign(tuner_factory, budget, workload, input_mb, cluster, seed=0):
+    ledger = CostLedger()
+    objective = SimulationObjective(workload, input_mb, cluster=cluster,
+                                    ledger=ledger, seed=seed)
+    space = spark_core_space()
+    result = run_tuner(tuner_factory(space, seed), objective, budget=budget)
+    return result, ledger
+
+
+def run_e3(cluster):
+    simulator = SparkSimulator()
+    workload = get_workload("bayes")
+    input_mb = workload.inputs.ds2_mb
+
+    # The incumbent production configuration: a *reasonable* config the
+    # user already runs (the probe), not the pathological default — the
+    # paper's amortization argument is about marginal savings of tuning,
+    # and comparing against an unusable default would flatter any tuner.
+    incumbent = SimulationObjective(workload, input_mb, cluster=cluster, seed=1)
+    default_runtime = float(np.mean([
+        incumbent(probe_configuration()) for _ in range(3)
+    ]))
+    default_run_cost = cluster.cost_of(default_runtime)
+
+    campaigns = {}
+    for name, factory, budget in [
+        ("bestconfig-500", lambda s, seed: BestConfigTuner(s, seed=seed, samples_per_round=25), 500),
+        ("cherrypick-25", lambda s, seed: BayesOptTuner(s, seed=seed, n_init=8), 25),
+    ]:
+        result, ledger = _campaign(factory, budget, workload, input_mb, cluster)
+        tuned_run_cost = cluster.cost_of(result.best_cost)
+        report = analyze_amortization(AmortizationInputs(
+            tuning_cost_usd=ledger.tuning_cost,
+            default_run_cost_usd=default_run_cost,
+            tuned_run_cost_usd=tuned_run_cost,
+            runs_per_month=RUNS_PER_MONTH,
+            months_until_retuning=MONTHS,
+        ))
+        offloaded = analyze_amortization(AmortizationInputs(
+            tuning_cost_usd=ledger.tuning_cost,
+            default_run_cost_usd=default_run_cost,
+            tuned_run_cost_usd=tuned_run_cost,
+            runs_per_month=RUNS_PER_MONTH,
+            months_until_retuning=MONTHS,
+            user_cost_share=0.0,
+        ))
+        production_bill = default_run_cost * RUNS_PER_MONTH * MONTHS
+        campaigns[name] = {
+            "evals": result.n_evaluations,
+            "tuning_cost": ledger.tuning_cost,
+            "tuned_runtime": result.best_cost,
+            "production_bill": production_bill,
+            "report": report,
+            "offloaded": offloaded,
+        }
+    return campaigns, default_runtime, default_run_cost
+
+
+@pytest.mark.benchmark(group="e3")
+def test_e3_amortization(benchmark, paper_cluster):
+    campaigns, default_runtime, default_cost = benchmark.pedantic(
+        run_e3, args=(paper_cluster,), rounds=1, iterations=1,
+    )
+    rows = []
+    for name, c in campaigns.items():
+        r = c["report"]
+        rows.append([
+            name, c["evals"], f"${c['tuning_cost']:.2f}",
+            f"${c['production_bill']:.2f}",
+            f"{c['tuned_runtime']:.0f}s vs {default_runtime:.0f}s",
+            "-" if r.breakeven_runs == float("inf") else f"{r.breakeven_runs:.0f}",
+            "yes" if r.amortizes else "NO",
+            "yes" if c["offloaded"].amortizes else "NO",
+        ])
+    print(render_table(
+        f"E3: amortization over {RUNS_PER_MONTH * MONTHS} production runs "
+        f"(paper: 500-sample tuning outweighs 90 runs/3 months)",
+        ["campaign", "evals", "tuning cost", "90-run bill",
+         "tuned vs incumbent runtime",
+         "breakeven runs", "amortizes (user pays)", "amortizes (offloaded)"],
+        rows,
+    ))
+
+    best500 = campaigns["bestconfig-500"]
+    cherry = campaigns["cherrypick-25"]
+    # The paper's headline arithmetic: 500 exploratory executions consume
+    # more resources than the ~90 production runs of a 3-month period.
+    assert best500["tuning_cost"] > best500["production_bill"]
+    assert cherry["tuning_cost"] < cherry["production_bill"]
+    # Against a reasonable incumbent the 500-run campaign cannot be repaid
+    # before re-tuning is due; the data-efficient one can.
+    assert best500["report"].breakeven_runs > RUNS_PER_MONTH * MONTHS
+    assert not best500["report"].amortizes
+    assert cherry["report"].amortizes
+    # Offloading the cost to the provider bounds the user side (vision #3).
+    assert best500["offloaded"].amortizes

@@ -1,0 +1,81 @@
+"""Fig. 2 — Spark internal architecture: program -> RDD graph -> DAG ->
+stages -> tasks -> executors.
+
+The paper's Fig. 2 is structural; its reproduction is the DAG compiler:
+we verify that each suite workload's program decomposes into the stage /
+task structure real Spark produces (shuffle boundaries cut stages, narrow
+chains pipeline, tasks = partitions, executors host task slots).
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.config import SPARK_DEFAULTS, Configuration, grant_resources
+from repro.sparksim import CacheRegistry, ExecutorModel, compile_job
+from repro.workloads import all_workloads
+
+EXPECTED_STRUCTURE = {
+    # workload -> (num jobs, num stages) at reference size/iterations
+    "wordcount": (1, 2),
+    "sort": (1, 2),
+    "terasort": (1, 2),
+    "pagerank": (2 + 6, 2 + 1 + 6 * 4),   # links, ranks, then 4 stages/iter
+    "bayes": (2, 4),
+    "kmeans": (1 + 6, 1 + 6 * 2),
+    "sql-join-agg": (1, 4),  # two scans, join+project (pipelined), aggregate
+    "mlfit": (1 + 8, 1 + 8 * 2),
+    "scan": (1, 1),
+    "aggregation": (1, 2),
+}
+
+
+def compile_all():
+    structure = {}
+    for workload in all_workloads():
+        registry = CacheRegistry()
+        next_id = 0
+        n_stages = 0
+        n_tasks = 0
+        jobs = workload.jobs(workload.inputs.ds1_mb)
+        for job in jobs:
+            plan = compile_job(job, registry, first_stage_id=next_id)
+            next_id += plan.num_stages
+            n_stages += plan.num_stages
+            for stage in plan.stages:
+                n_tasks += stage.num_tasks_hint or SPARK_DEFAULTS[
+                    "spark.default.parallelism"
+                ]
+                for rdd_id, mb, rb in stage.materializes:
+                    registry.materialize(rdd_id, mb, rb)
+            for rdd in job.unpersist_after:
+                registry.evict(rdd.id)
+        structure[workload.name] = (len(jobs), n_stages, n_tasks)
+    return structure
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_spark_internals(benchmark, paper_cluster):
+    structure = benchmark.pedantic(compile_all, rounds=1, iterations=1)
+    rows = []
+    for name, (jobs, stages, tasks) in structure.items():
+        exp_jobs, exp_stages = EXPECTED_STRUCTURE[name]
+        rows.append([name, f"{exp_jobs} jobs / {exp_stages} stages",
+                     f"{jobs} jobs / {stages} stages / {tasks} tasks"])
+    print(render_table("Fig. 2: program -> DAG -> stages -> tasks",
+                       ["workload", "expected", "compiled"], rows))
+    for name, (jobs, stages, tasks) in structure.items():
+        exp_jobs, exp_stages = EXPECTED_STRUCTURE[name]
+        assert jobs == exp_jobs, name
+        assert stages == exp_stages, name
+        assert tasks >= stages  # every stage has at least one task
+
+    # Executor side of the figure: tasks execute on granted executor slots.
+    config = Configuration({**SPARK_DEFAULTS, **{
+        "spark.executor.instances": 8, "spark.executor.cores": 4,
+        "spark.executor.memory": 8192,
+    }})
+    grant = grant_resources(config, paper_cluster)
+    executor = ExecutorModel.from_config(config)
+    assert grant.executors == 8
+    assert executor.concurrent_tasks == 4
+    assert grant.executors * executor.concurrent_tasks == 32

@@ -1,0 +1,110 @@
+"""Table I — potential execution-time saving of re-tuning over evolving inputs.
+
+Paper methodology (Section IV.B): for each of three workloads and three
+evolving input sizes, run 100 random configurations and find the best;
+report the saving of DS2/DS3's best over re-using DS1's best.
+
+Paper numbers (one experimental draw on EMR):
+
+    Potential savings      Pagerank   Bayes   Wordcount
+    DS1_best - DS2_best        8%       17%       0%
+    DS1_best - DS3_best       56%       25%       3%
+
+Expected shape: PageRank saves the most and grows steeply with input
+size (its cached graph and shuffle volumes shift the optimum); Bayes is
+intermediate; Wordcount is scan-bound and saves ~nothing.  The absolute
+percentages are one noisy draw of a best-of-100 process — we fix the
+sampling seed for reproducibility and report the same single-draw
+methodology.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.config import spark_space
+from repro.sparksim import SparkSimulator
+from repro.workloads import TABLE1_WORKLOADS, get_workload
+
+#: the paper reports a single experimental draw; we average three fixed
+#: draws of the 100-random-configuration process to tame best-of-100
+#: selection noise (see EXPERIMENTS.md for the per-draw spread)
+SAMPLE_SEEDS = (42, 5, 13)
+N_CONFIGS = 100
+EVAL_SEEDS = range(300, 303)
+
+PAPER = {
+    "pagerank": (8.0, 56.0),
+    "bayes": (17.0, 25.0),
+    "wordcount": (0.0, 3.0),
+}
+
+
+def _best_config(simulator, workload, input_mb, cluster, configs, seed_base):
+    best_runtime, best = np.inf, None
+    for i, config in enumerate(configs):
+        result = simulator.run(workload, input_mb, cluster, config, seed=seed_base + i)
+        if result.success and result.runtime_s < best_runtime:
+            best_runtime, best = result.runtime_s, config
+    return best
+
+
+def _mean_runtime(simulator, workload, input_mb, cluster, config):
+    return float(np.mean([
+        simulator.run(workload, input_mb, cluster, config, seed=s).effective_runtime()
+        for s in EVAL_SEEDS
+    ]))
+
+
+def _one_draw(simulator, space, cluster, sample_seed):
+    rng = np.random.default_rng(sample_seed)
+    configs = space.sample_configurations(N_CONFIGS, rng)
+    savings = {}
+    for name in TABLE1_WORKLOADS:
+        workload = get_workload(name)
+        best_ds1 = _best_config(simulator, workload, workload.inputs.ds1_mb,
+                                cluster, configs, sample_seed * 100)
+        row = []
+        for label in ("DS2", "DS3"):
+            input_mb = workload.inputs.size(label)
+            best_k = _best_config(simulator, workload, input_mb, cluster,
+                                  configs, sample_seed * 100)
+            reuse = _mean_runtime(simulator, workload, input_mb, cluster, best_ds1)
+            tuned = _mean_runtime(simulator, workload, input_mb, cluster, best_k)
+            row.append(max(0.0, (reuse - tuned) / reuse * 100.0))
+        savings[name] = tuple(row)
+    return savings
+
+
+def run_table1(cluster):
+    simulator = SparkSimulator()
+    space = spark_space()
+    draws = [_one_draw(simulator, space, cluster, s) for s in SAMPLE_SEEDS]
+    return {
+        name: tuple(
+            float(np.mean([d[name][k] for d in draws])) for k in range(2)
+        )
+        for name in TABLE1_WORKLOADS
+    }
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_retuning_savings(benchmark, paper_cluster):
+    savings = benchmark.pedantic(run_table1, args=(paper_cluster,),
+                                 rounds=1, iterations=1)
+    rows = []
+    for name in TABLE1_WORKLOADS:
+        p2, p3 = PAPER[name]
+        m2, m3 = savings[name]
+        rows.append([name, f"{p2:.0f}% / {p3:.0f}%", f"{m2:.1f}% / {m3:.1f}%"])
+    print(render_table(
+        "Table I: potential saving of re-tuning (DS2 / DS3)",
+        ["workload", "paper", "measured"], rows,
+    ))
+
+    # Shape assertions: ordering at DS3 and the scan-bound flatness.
+    assert savings["pagerank"][1] > savings["bayes"][1] > savings["wordcount"][1]
+    assert savings["pagerank"][1] >= 25.0          # large saving at DS3
+    assert savings["wordcount"][1] <= 10.0         # marginal for wordcount
+    # Savings grow with input growth for pagerank (8% -> 56% in the paper).
+    assert savings["pagerank"][1] > savings["pagerank"][0]

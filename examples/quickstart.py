@@ -1,0 +1,50 @@
+"""Quickstart: seamless tuning of one workload, end to end.
+
+The user experience the paper's vision describes — submit a workload and
+an objective; the service picks the cluster, tunes Spark, and reports
+what it did::
+
+    python examples/quickstart.py
+"""
+
+from repro import TuningService
+from repro.core import SLOMetric, TuningSLO
+from repro.workloads import PageRank
+
+
+def main():
+    service = TuningService(provider="aws", seed=42)
+
+    # "Run my PageRank within 25% of the best achievable runtime."
+    slo = TuningSLO(SLOMetric.IMPROVEMENT_OVER_DEFAULT, target_fraction=0.5)
+    workload = PageRank()
+    deployment = service.submit(
+        tenant="quickstart-user",
+        workload=workload,
+        input_mb=workload.inputs.ds2_mb,
+        slo=slo,
+        cloud_budget=10,
+        disc_budget=20,
+    )
+
+    print("=== Seamless tuning result ===")
+    print(f"workload:           {workload.describe()}")
+    print(f"chosen cluster:     {deployment.cluster.describe()} "
+          f"(${deployment.cluster.price_per_hour:.2f}/h)")
+    print(f"expected runtime:   {deployment.expected_runtime_s:.1f}s")
+    print(f"tuning executions:  {deployment.tuning_evaluations} "
+          f"(BestConfig needed ~500)")
+    print(f"tuning cost:        ${service.ledger.tuning_cost:.2f} "
+          f"(charged to the provider, not the user)")
+    if deployment.slo_report is not None:
+        print(f"SLO:                {deployment.slo_report.describe()}")
+
+    print("\nTop Spark settings chosen:")
+    for key in ("spark.executor.instances", "spark.executor.cores",
+                "spark.executor.memory", "spark.default.parallelism",
+                "spark.serializer", "spark.memory.fraction"):
+        print(f"  {key} = {deployment.config[key]}")
+
+
+if __name__ == "__main__":
+    main()

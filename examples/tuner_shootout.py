@@ -1,0 +1,62 @@
+"""Compare every tuning strategy the paper surveys on one workload.
+
+Runs random search, MROnline-style hill climbing, BestConfig DDS+RBS,
+GA, DAC, regression-tree tuning, Q-learning and CherryPick-style BO with
+the same budget and prints the incumbent curve — the Section II survey
+as an experiment::
+
+    python examples/tuner_shootout.py
+"""
+
+from repro.cloud import Cluster
+from repro.config import spark_core_space
+from repro.tuning import (
+    BayesOptTuner,
+    BestConfigTuner,
+    DACTuner,
+    GeneticTuner,
+    HillClimbTuner,
+    QLearningTuner,
+    RandomSearchTuner,
+    SimulationObjective,
+    TreeTuner,
+    run_tuner,
+)
+from repro.workloads import BayesClassifier
+
+BUDGET = 30
+CHECKPOINTS = (5, 10, 20, 30)
+
+
+def main():
+    space = spark_core_space()
+    cluster = Cluster.of("h1.4xlarge", 4)
+    workload = BayesClassifier()
+    input_mb = workload.inputs.ds1_mb
+
+    tuners = {
+        "random": RandomSearchTuner(space, seed=1),
+        "hillclimb (MROnline)": HillClimbTuner(space, seed=1),
+        "bestconfig (DDS+RBS)": BestConfigTuner(space, seed=1, samples_per_round=10),
+        "genetic": GeneticTuner(space, seed=1, population_size=10),
+        "dac (RF+GA)": DACTuner(space, seed=1, n_init=10, ga_generations=6),
+        "tree (Wang et al.)": TreeTuner(space, seed=1, n_init=10),
+        "qlearning (Bu et al.)": QLearningTuner(space, seed=1),
+        "bo (CherryPick)": BayesOptTuner(space, seed=1, n_init=10),
+    }
+
+    header = f"{'tuner':<22}" + "".join(f"{f'@{c}':>10}" for c in CHECKPOINTS)
+    print(f"best runtime (s) after N executions — {workload.name} "
+          f"{input_mb / 1024:.0f} GB on {cluster.describe()}")
+    print(header)
+    print("-" * len(header))
+    for name, tuner in tuners.items():
+        objective = SimulationObjective(workload, input_mb, cluster=cluster, seed=77)
+        result = run_tuner(tuner, objective, budget=BUDGET)
+        curve = result.incumbent_curve()
+        cells = "".join(f"{curve[c - 1]:>10.1f}" for c in CHECKPOINTS)
+        print(f"{name:<22}{cells}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""A multi-tenant day at the provider: history, similarity, transfer, SLOs.
+
+Three tenants submit workloads over time.  The provider's history grows
+with every execution; when tenant C submits a graph job similar to
+tenant A's, the service recognizes it from execution signatures alone
+(no workload identity crosses tenants) and warm-starts the tuning —
+the Section IV.C / V.B machinery in one script::
+
+    python examples/tuning_service_multitenant.py
+"""
+
+from repro import TuningService
+from repro.core import SLOMetric, TuningSLO, find_similar_workloads
+from repro.workloads import BayesClassifier, PageRank, Wordcount, variant_of
+
+
+def main():
+    service = TuningService(provider="aws", seed=19)
+    slo = TuningSLO(SLOMetric.IMPROVEMENT_OVER_DEFAULT, target_fraction=0.5)
+
+    submissions = [
+        ("acme-analytics", PageRank(), 9_000),
+        ("initech-logs", Wordcount(), 60_000),
+        ("globex-ml", BayesClassifier(), 10_000),
+        # Tenant C's job is a PageRank variant — similar in *behaviour*.
+        ("contoso-graphs", variant_of(PageRank(), name="web-ranking",
+                                      cpu_scale=1.4), 12_000),
+    ]
+
+    print(f"{'tenant':<18} {'workload':<14} {'cluster':<22} "
+          f"{'runtime':>8} {'evals':>6}  warm-started from")
+    for tenant, workload, input_mb in submissions:
+        deployment = service.submit(tenant, workload, input_mb, slo=slo,
+                                    cloud_budget=8, disc_budget=16)
+        sources = ", ".join(deployment.transferred_from) or "-"
+        print(f"{tenant:<18} {workload.name:<14} "
+              f"{deployment.cluster.describe():<22} "
+              f"{deployment.expected_runtime_s:>7.1f}s "
+              f"{deployment.tuning_evaluations:>6}  {sources}")
+
+    print(f"\nprovider history: {len(service.store)} executions across "
+          f"{len(service.store.tenants())} tenants")
+    print(f"provider-side tuning spend: ${service.ledger.tuning_cost:.2f} "
+          f"over {service.ledger.tuning_runs} runs")
+
+    # What the similarity engine sees (signatures only, no identities).
+    target = service.store.mean_signature("contoso-graphs", "web-ranking")
+    if target is None:
+        print("\n(no successful contoso executions to characterize)")
+        return
+    print("\nnearest workloads to contoso's web-ranking (by signature):")
+    for s in find_similar_workloads(service.store, target, k=3,
+                                    exclude=("contoso-graphs", "web-ranking")):
+        print(f"  {s.tenant}/{s.workload_label:<14} distance={s.distance:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Ask the Starfish-style what-if engine configuration questions.
+
+"Given the profile of job A, input data x, cluster resources c1, what
+will the performance of job B be with input data y and cluster
+resources c2?" — profile once, then query for free::
+
+    python examples/whatif_predictions.py
+"""
+
+from repro.cloud import Cluster
+from repro.core import probe_configuration
+from repro.sparksim import SparkSimulator
+from repro.tuning import JobProfile, WhatIfEngine
+from repro.workloads import BayesClassifier
+
+
+def main():
+    simulator = SparkSimulator()
+    cluster = Cluster.of("h1.4xlarge", 4)
+    workload = BayesClassifier()
+    probe = probe_configuration()
+
+    profiled = simulator.run(workload, 10_000, cluster, probe, seed=1)
+    engine = WhatIfEngine(JobProfile.from_execution(profiled, probe, cluster))
+    print(f"profiled: {workload.name} @ 10 GB on {cluster.describe()} "
+          f"-> {profiled.runtime_s:.0f}s\n")
+
+    questions = [
+        ("2.5x the input data", dict(input_mb=25_000)),
+        ("8-node cluster", dict(cluster=Cluster.of("h1.4xlarge", 8))),
+        ("double the executors",
+         dict(config=probe.replace(**{"spark.executor.instances": 16}))),
+        ("kryo serializer",
+         dict(config=probe.replace(**{"spark.serializer": "kryo"}))),
+        ("compute-optimized nodes",
+         dict(cluster=Cluster.of("c5.4xlarge", 4))),
+    ]
+    print(f"{'what if...':<28} {'predicted':>10} {'actual':>10} {'error':>8}")
+    for label, kwargs in questions:
+        predicted = engine.predict(kwargs.get("config", probe),
+                                   cluster=kwargs.get("cluster"),
+                                   input_mb=kwargs.get("input_mb"))
+        actual = simulator.run(
+            workload, kwargs.get("input_mb", 10_000),
+            kwargs.get("cluster", cluster), kwargs.get("config", probe),
+            seed=7,
+        )
+        err = abs(predicted - actual.runtime_s) / actual.runtime_s
+        print(f"{label:<28} {predicted:>9.0f}s {actual.runtime_s:>9.0f}s "
+              f"{err:>7.0%}")
+    print("\npredictions are free; their accuracy is what Starfish-style "
+          "tuning lives and dies by (paper Section II.B).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro — Seamless Configuration Tuning of Big Data Analytics.
+
+A full reproduction of Fekry et al., "Towards Seamless Configuration
+Tuning of Big Data Analytics" (ICDCS 2019): a provider-side self-tuning
+service (:mod:`repro.core`) over a Spark simulator
+(:mod:`repro.sparksim`), a cloud substrate (:mod:`repro.cloud`), a
+HiBench-style workload suite (:mod:`repro.workloads`), and every tuning
+strategy the paper surveys (:mod:`repro.tuning`).
+
+Quickstart::
+
+    from repro import TuningService
+    from repro.workloads import PageRank
+
+    service = TuningService(provider="aws", seed=42)
+    deployment = service.submit("tenant-a", PageRank(), input_mb=12_000)
+    print(deployment.cluster.describe(), deployment.expected_runtime_s)
+"""
+
+from .cloud import Cluster
+from .config import Configuration, ConfigurationSpace, spark_core_space, spark_space
+from .core import TuningService
+from .sparksim import SparkSimulator
+from .tuning import BayesOptTuner, RandomSearchTuner, SimulationObjective, run_tuner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TuningService",
+    "SparkSimulator",
+    "Cluster",
+    "Configuration",
+    "ConfigurationSpace",
+    "spark_space",
+    "spark_core_space",
+    "SimulationObjective",
+    "BayesOptTuner",
+    "RandomSearchTuner",
+    "run_tuner",
+    "__version__",
+]

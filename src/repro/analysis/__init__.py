@@ -1,0 +1,19 @@
+"""Analysis helpers: statistics, regret curves, report tables."""
+
+from .model_eval import PredictionScore, cross_validate
+from .regret import evaluations_to_target, mean_incumbent_curve, normalized_regret_curve
+from .reporting import format_row, render_table
+from .stats import bootstrap_ci, geometric_mean, summarize
+
+__all__ = [
+    "PredictionScore",
+    "cross_validate",
+    "bootstrap_ci",
+    "geometric_mean",
+    "summarize",
+    "normalized_regret_curve",
+    "mean_incumbent_curve",
+    "evaluations_to_target",
+    "render_table",
+    "format_row",
+]

@@ -1,0 +1,76 @@
+"""Cross-validated evaluation of runtime-prediction models.
+
+Supports the paper's "limited accuracy" discussion (Section II.C):
+black-box models predict runtime from configuration vectors alone, and
+their accuracy varies strongly across model families and workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["PredictionScore", "cross_validate"]
+
+
+@dataclass(frozen=True)
+class PredictionScore:
+    """Aggregate prediction quality over CV folds."""
+
+    rmse: float
+    mape: float           # mean absolute percentage error
+    spearman: float       # rank fidelity — what a tuner actually needs
+
+    def describe(self) -> str:
+        return (f"rmse={self.rmse:.3g} mape={self.mape:.1%} "
+                f"rank-corr={self.spearman:.2f}")
+
+
+def _spearman(a: np.ndarray, b: np.ndarray) -> float:
+    ra = np.argsort(np.argsort(a)).astype(float)
+    rb = np.argsort(np.argsort(b)).astype(float)
+    if ra.std() == 0 or rb.std() == 0:
+        return 0.0
+    return float(np.corrcoef(ra, rb)[0, 1])
+
+
+def cross_validate(model_factory: Callable[[], object], X: np.ndarray,
+                   y: np.ndarray, k: int = 5, seed: int = 0,
+                   log_targets: bool = True) -> PredictionScore:
+    """K-fold CV of a ``fit``/``predict`` model on (X, y).
+
+    ``log_targets`` fits on log-runtimes (the spread across
+    configurations covers orders of magnitude) while scoring on the
+    original scale.
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    y = np.asarray(y, dtype=float).ravel()
+    if len(X) != len(y):
+        raise ValueError("X and y lengths differ")
+    if len(y) < 2 * k:
+        raise ValueError(f"need at least {2 * k} samples for {k}-fold CV")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(y))
+    folds = np.array_split(order, k)
+
+    predictions = np.empty_like(y)
+    for i in range(k):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        target = np.log(np.maximum(y[train], 1e-9)) if log_targets else y[train]
+        model = model_factory()
+        model.fit(X[train], target)
+        pred = model.predict(X[test])
+        if isinstance(pred, tuple):  # GP-style (mean, std)
+            pred = pred[0]
+        pred = np.asarray(pred, dtype=float).ravel()
+        predictions[test] = np.exp(pred) if log_targets else pred
+
+    err = predictions - y
+    return PredictionScore(
+        rmse=float(np.sqrt(np.mean(err**2))),
+        mape=float(np.mean(np.abs(err) / np.maximum(y, 1e-9))),
+        spearman=_spearman(predictions, y),
+    )

@@ -1,0 +1,35 @@
+"""Regret curves and sample-efficiency comparisons across tuners."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tuning.base import TuningResult
+
+__all__ = ["normalized_regret_curve", "mean_incumbent_curve", "evaluations_to_target"]
+
+
+def normalized_regret_curve(result: TuningResult, optimum: float) -> np.ndarray:
+    """(incumbent - optimum) / optimum after each evaluation."""
+    if optimum <= 0:
+        raise ValueError("optimum must be positive")
+    curve = np.asarray(result.incumbent_curve(), dtype=float)
+    return (curve - optimum) / optimum
+
+
+def mean_incumbent_curve(results: list[TuningResult], length: int | None = None) -> np.ndarray:
+    """Average incumbent curve across repetitions (padded with final value)."""
+    if not results:
+        raise ValueError("need at least one result")
+    curves = [r.incumbent_curve() for r in results]
+    n = length or max(len(c) for c in curves)
+    padded = np.array([
+        c + [c[-1]] * (n - len(c)) if len(c) < n else c[:n] for c in curves
+    ])
+    return padded.mean(axis=0)
+
+
+def evaluations_to_target(results: list[TuningResult], optimum: float,
+                          fraction: float = 0.2) -> list[int | None]:
+    """Per-repetition evaluations until within ``fraction`` of ``optimum``."""
+    return [r.evaluations_to_within(fraction, optimum) for r in results]

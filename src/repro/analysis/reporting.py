@@ -1,0 +1,48 @@
+"""Plain-text table rendering for benchmark reports.
+
+Benches print the same rows the paper's tables/claims contain; this
+module keeps their formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "format_row"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_row(cells, widths) -> str:
+    """Format one table row: first column left-aligned, rest right."""
+    return " | ".join(
+        _format_cell(c).rjust(w) if i else _format_cell(c).ljust(w)
+        for i, (c, w) in enumerate(zip(cells, widths))
+    )
+
+
+def render_table(title: str, headers: list[str], rows: list[list]) -> str:
+    """A fixed-width table with a title rule, ready to print."""
+    if any(len(r) != len(headers) for r in rows):
+        raise ValueError("all rows must match header length")
+    str_rows = [[_format_cell(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "",
+        f"=== {title} ===",
+        format_row(headers, widths),
+        "-+-".join("-" * w for w in widths),
+    ]
+    lines += [format_row(row, widths) for row in rows]
+    return "\n".join(lines)

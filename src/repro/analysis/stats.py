@@ -1,0 +1,52 @@
+"""Statistics helpers for experiment analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bootstrap_ci", "geometric_mean", "summarize"]
+
+
+def bootstrap_ci(values, statistic=np.mean, n_boot: int = 2000,
+                 confidence: float = 0.95, seed: int = 0) -> tuple[float, float, float]:
+    """(point, low, high) bootstrap confidence interval of ``statistic``."""
+    values = np.asarray(list(values), dtype=float)
+    if len(values) == 0:
+        raise ValueError("need at least one value")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    point = float(statistic(values))
+    if len(values) == 1:
+        return point, point, point
+    stats = np.array([
+        statistic(values[rng.integers(0, len(values), len(values))])
+        for _ in range(n_boot)
+    ])
+    alpha = (1 - confidence) / 2
+    return point, float(np.quantile(stats, alpha)), float(np.quantile(stats, 1 - alpha))
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values (for runtime ratios)."""
+    values = np.asarray(list(values), dtype=float)
+    if len(values) == 0:
+        raise ValueError("need at least one value")
+    if (values <= 0).any():
+        raise ValueError("geometric mean needs positive values")
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def summarize(values) -> dict[str, float]:
+    """Five-number-ish summary used by the bench reports."""
+    values = np.asarray(list(values), dtype=float)
+    if len(values) == 0:
+        raise ValueError("need at least one value")
+    return {
+        "mean": float(values.mean()),
+        "std": float(values.std()),
+        "min": float(values.min()),
+        "p50": float(np.median(values)),
+        "p95": float(np.quantile(values, 0.95)),
+        "max": float(values.max()),
+    }

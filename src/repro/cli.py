@@ -1,0 +1,209 @@
+"""Command-line interface: simulate, tune, and submit workloads.
+
+Usage (installed as a module)::
+
+    python -m repro workloads
+    python -m repro instances --provider aws
+    python -m repro simulate --workload pagerank --size DS2 \
+        --instance h1.4xlarge --nodes 4 --set spark.executor.memory=8192
+    python -m repro tune --workload bayes --tuner bo --budget 25 \
+        --instance h1.4xlarge --nodes 4
+    python -m repro submit --workload sort --input-mb 15000 \
+        --provider aws --history history.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .cloud import Cluster, list_instances
+from .config import SPARK_DEFAULTS, Configuration, spark_core_space
+from .core import TuningService, load_history, save_history
+from .sparksim import SparkSimulator
+from .tuning import (
+    BayesOptTuner,
+    BestConfigTuner,
+    GeneticTuner,
+    HillClimbTuner,
+    RandomSearchTuner,
+    SimulationObjective,
+    TreeTuner,
+    run_tuner,
+)
+from .workloads import SUITE, get_workload
+
+__all__ = ["main"]
+
+_TUNERS = {
+    "random": RandomSearchTuner,
+    "bo": BayesOptTuner,
+    "tree": TreeTuner,
+    "genetic": GeneticTuner,
+    "hillclimb": HillClimbTuner,
+    "bestconfig": BestConfigTuner,
+}
+
+
+def _parse_overrides(pairs: list[str]) -> dict:
+    overrides = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        if key not in SPARK_DEFAULTS:
+            raise SystemExit(f"unknown Spark parameter {key!r}")
+        default = SPARK_DEFAULTS[key]
+        if isinstance(default, bool):
+            value = raw.lower() in ("1", "true", "yes")
+        elif isinstance(default, int):
+            value = int(raw)
+        elif isinstance(default, float):
+            value = float(raw)
+        else:
+            value = raw
+        overrides[key] = value
+    return overrides
+
+
+def _resolve_input(workload, size: str | None, input_mb: float | None) -> float:
+    if input_mb is not None:
+        return input_mb
+    return workload.inputs.size(size or "DS1")
+
+
+def _cmd_workloads(args) -> int:
+    for name, cls in SUITE.items():
+        w = cls()
+        print(f"{name:<14} {w.category:<10} "
+              f"DS1={w.inputs.ds1_mb / 1024:.0f}GB "
+              f"DS2={w.inputs.ds2_mb / 1024:.0f}GB "
+              f"DS3={w.inputs.ds3_mb / 1024:.0f}GB")
+    return 0
+
+
+def _cmd_instances(args) -> int:
+    for t in list_instances(provider=args.provider):
+        print(f"{t.name:<20} {t.provider:<6} {t.vcpus:>3} vCPU "
+              f"{t.memory_mb / 1024:>6.1f} GiB  ${t.price_per_hour:.4f}/h")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    workload = get_workload(args.workload)
+    input_mb = _resolve_input(workload, args.size, args.input_mb)
+    cluster = Cluster.of(args.instance, args.nodes)
+    config = Configuration({**SPARK_DEFAULTS, **_parse_overrides(args.set or [])})
+    result = SparkSimulator().run(workload, input_mb, cluster, config,
+                                  seed=args.seed)
+    print(f"workload:  {workload.name} @ {input_mb / 1024:.1f} GB")
+    print(f"cluster:   {cluster.describe()}")
+    print(f"outcome:   {'SUCCESS' if result.success else 'FAILED'}"
+          f"{'' if result.success else ' - ' + (result.failure_reason or '')}")
+    print(f"runtime:   {result.runtime_s:.1f}s "
+          f"(${cluster.cost_of(result.runtime_s):.4f})")
+    print(f"stages:    {result.num_stages}, tasks: {result.num_tasks}, "
+          f"executors: {result.executors_granted}/{result.executors_requested}")
+    print(f"shuffle:   {result.total_shuffle_mb:.0f} MB, "
+          f"spill: {result.total_spill_mb:.0f} MB, "
+          f"GC: {result.total_gc_s:.0f}s")
+    return 0 if result.success else 1
+
+
+def _cmd_tune(args) -> int:
+    workload = get_workload(args.workload)
+    input_mb = _resolve_input(workload, args.size, args.input_mb)
+    cluster = Cluster.of(args.instance, args.nodes)
+    space = spark_core_space()
+    tuner = _TUNERS[args.tuner](space, seed=args.seed)
+    objective = SimulationObjective(workload, input_mb, cluster=cluster,
+                                    seed=args.seed)
+    result = run_tuner(tuner, objective, budget=args.budget)
+    print(f"best runtime after {result.n_evaluations} executions: "
+          f"{result.best_cost:.1f}s")
+    for key in sorted(result.best_config):
+        print(f"  {key} = {result.best_config[key]}")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    service = TuningService(provider=args.provider, seed=args.seed)
+    if args.history:
+        try:
+            service.store = load_history(args.history)
+            print(f"loaded {len(service.store)} history records")
+        except FileNotFoundError:
+            pass
+    workload = get_workload(args.workload)
+    input_mb = _resolve_input(workload, args.size, args.input_mb)
+    deployment = service.submit(args.tenant, workload, input_mb,
+                                cloud_budget=args.cloud_budget,
+                                disc_budget=args.disc_budget)
+    print(f"cluster:          {deployment.cluster.describe()}")
+    print(f"expected runtime: {deployment.expected_runtime_s:.1f}s")
+    print(f"tuning execs:     {deployment.tuning_evaluations}")
+    print(f"warm-started:     {', '.join(deployment.transferred_from) or 'no'}")
+    if args.history:
+        save_history(service.store, args.history)
+        print(f"saved {len(service.store)} history records to {args.history}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Seamless configuration tuning of big data analytics",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the workload suite")
+
+    p_inst = sub.add_parser("instances", help="list the instance catalogue")
+    p_inst.add_argument("--provider", choices=["aws", "azure", "gcp"])
+
+    def common(p):
+        p.add_argument("--workload", required=True, choices=sorted(SUITE))
+        p.add_argument("--size", choices=["DS1", "DS2", "DS3"])
+        p.add_argument("--input-mb", type=float)
+        p.add_argument("--seed", type=int, default=0)
+
+    p_sim = sub.add_parser("simulate", help="run one simulated execution")
+    common(p_sim)
+    p_sim.add_argument("--instance", default="h1.4xlarge")
+    p_sim.add_argument("--nodes", type=int, default=4)
+    p_sim.add_argument("--set", action="append", metavar="KEY=VALUE",
+                       help="Spark parameter override (repeatable)")
+
+    p_tune = sub.add_parser("tune", help="tune the Spark configuration")
+    common(p_tune)
+    p_tune.add_argument("--instance", default="h1.4xlarge")
+    p_tune.add_argument("--nodes", type=int, default=4)
+    p_tune.add_argument("--tuner", choices=sorted(_TUNERS), default="bo")
+    p_tune.add_argument("--budget", type=int, default=25)
+
+    p_submit = sub.add_parser("submit", help="seamless end-to-end tuning")
+    common(p_submit)
+    p_submit.add_argument("--provider", choices=["aws", "azure", "gcp"],
+                          default="aws")
+    p_submit.add_argument("--tenant", default="cli-user")
+    p_submit.add_argument("--cloud-budget", type=int, default=10)
+    p_submit.add_argument("--disc-budget", type=int, default=20)
+    p_submit.add_argument("--history", help="JSON file to load/save history")
+    return parser
+
+
+_COMMANDS = {
+    "workloads": _cmd_workloads,
+    "instances": _cmd_instances,
+    "simulate": _cmd_simulate,
+    "tune": _cmd_tune,
+    "submit": _cmd_submit,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

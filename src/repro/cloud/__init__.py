@@ -1,0 +1,30 @@
+"""Cloud substrate: instance catalogues, clusters, pricing, interference."""
+
+from .cluster import Cluster
+from .deployment import DeploymentService, ProvisionRecord
+from .instances import CATALOGUE, FAMILIES, InstanceFamily, InstanceType, get_instance, list_instances
+from .interference import NOISY, QUIET, TYPICAL, Environment, InterferenceModel
+from .pricing import CostLedger, execution_cost
+from .providers import PROVIDERS, Provider, get_provider
+
+__all__ = [
+    "InstanceType",
+    "InstanceFamily",
+    "CATALOGUE",
+    "FAMILIES",
+    "get_instance",
+    "list_instances",
+    "Cluster",
+    "Provider",
+    "PROVIDERS",
+    "get_provider",
+    "DeploymentService",
+    "ProvisionRecord",
+    "CostLedger",
+    "execution_cost",
+    "Environment",
+    "InterferenceModel",
+    "QUIET",
+    "TYPICAL",
+    "NOISY",
+]

@@ -1,0 +1,62 @@
+"""Managed-deployment facade (EMR / HDInsight / Dataproc analogue).
+
+The tuning service of the paper's Fig. 1 hands a chosen cloud
+configuration to a "native DISC-deployment service"; this module is that
+service: it validates requests against the provider catalogue, provisions
+:class:`~repro.cloud.cluster.Cluster` objects, and keeps a provisioning
+log (which the provider-side tuning service can mine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cluster import Cluster
+from .instances import get_instance
+from .providers import Provider, get_provider
+
+__all__ = ["DeploymentService", "ProvisionRecord"]
+
+
+@dataclass(frozen=True)
+class ProvisionRecord:
+    """One provisioning event in the service log."""
+
+    instance_name: str
+    count: int
+    tenant: str
+
+
+@dataclass
+class DeploymentService:
+    """Provision virtual clusters for a single cloud provider."""
+
+    provider: Provider
+    max_cluster_size: int = 64
+    _log: list[ProvisionRecord] = field(default_factory=list)
+
+    @classmethod
+    def for_provider(cls, name: str) -> "DeploymentService":
+        return cls(get_provider(name))
+
+    def provision(self, instance_name: str, count: int, tenant: str = "default") -> Cluster:
+        """Create a cluster of ``count`` nodes of ``instance_name``.
+
+        Raises ``ValueError`` for cross-provider requests or oversized
+        clusters (providers enforce per-account instance quotas).
+        """
+        instance = get_instance(instance_name)
+        if instance.provider != self.provider.name:
+            raise ValueError(
+                f"{instance_name} is a {instance.provider} type; "
+                f"this service deploys to {self.provider.name}"
+            )
+        if not 1 <= count <= self.max_cluster_size:
+            raise ValueError(
+                f"cluster size {count} outside quota [1, {self.max_cluster_size}]"
+            )
+        self._log.append(ProvisionRecord(instance_name, count, tenant))
+        return Cluster(instance, count)
+
+    def provisioning_log(self) -> list[ProvisionRecord]:
+        return list(self._log)

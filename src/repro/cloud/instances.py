@@ -1,0 +1,130 @@
+"""Cloud instance-type catalogue.
+
+Models the discrete cloud configuration space of Section II.A: three
+providers (EC2-, Azure- and GCE-like), each with several instance
+*families* (general purpose, compute-, memory-, storage-optimized) and
+several sizes per family.  Specs and on-demand prices follow the public
+2018-era price lists, which is what CherryPick/PARIS searched over and
+what the paper's experiment used (h1.4xlarge on Amazon EMR).
+
+All rates are in MB/s, memory in MiB, prices in USD per hour.
+``cpu_speed`` is a relative per-core throughput factor (1.0 = baseline
+m5-class core); compute-optimized families run slightly faster cores,
+storage-optimized slightly slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["InstanceType", "InstanceFamily", "CATALOGUE", "get_instance", "list_instances"]
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """A purchasable VM shape."""
+
+    name: str
+    provider: str
+    family: str
+    vcpus: int
+    memory_mb: int
+    disk_mb_s: float          # aggregate local-disk bandwidth
+    network_mb_s: float       # NIC bandwidth
+    price_per_hour: float
+    cpu_speed: float = 1.0    # relative per-core throughput
+
+    def __post_init__(self):
+        if self.vcpus < 1:
+            raise ValueError(f"{self.name}: vcpus must be >= 1")
+        if self.memory_mb < 512:
+            raise ValueError(f"{self.name}: memory_mb must be >= 512")
+        if self.price_per_hour <= 0:
+            raise ValueError(f"{self.name}: price must be positive")
+
+    @property
+    def memory_per_core_mb(self) -> float:
+        return self.memory_mb / self.vcpus
+
+
+@dataclass(frozen=True)
+class InstanceFamily:
+    """A family of instance sizes sharing a hardware profile."""
+
+    name: str
+    provider: str
+    description: str
+    sizes: tuple[InstanceType, ...] = field(default_factory=tuple)
+
+
+def _family(provider, family, description, cpu_speed, mem_per_vcpu_gb,
+            disk_base, net_base, price_per_vcpu, sizes):
+    """Build a family whose sizes scale linearly in vCPU count."""
+    types = []
+    for label, vcpus in sizes:
+        types.append(
+            InstanceType(
+                name=f"{family}.{label}",
+                provider=provider,
+                family=family,
+                vcpus=vcpus,
+                memory_mb=int(mem_per_vcpu_gb * 1024 * vcpus),
+                disk_mb_s=disk_base * (vcpus / 4) ** 0.8,
+                network_mb_s=net_base * (vcpus / 4) ** 0.7,
+                price_per_hour=round(price_per_vcpu * vcpus, 4),
+                cpu_speed=cpu_speed,
+            )
+        )
+    return InstanceFamily(family, provider, description, tuple(types))
+
+
+_SIZES = (("large", 2), ("xlarge", 4), ("2xlarge", 8), ("4xlarge", 16))
+
+_FAMILIES = [
+    # --- EC2-like -------------------------------------------------------
+    _family("aws", "m5", "general purpose (EBS)", 1.00, 4, 120, 150, 0.048, _SIZES),
+    _family("aws", "c5", "compute optimized", 1.18, 2, 110, 170, 0.0425, _SIZES),
+    _family("aws", "r5", "memory optimized", 1.00, 8, 120, 150, 0.063, _SIZES),
+    _family("aws", "h1", "HDD-storage optimized", 0.92, 4, 210, 200, 0.0585,
+            (("2xlarge", 8), ("4xlarge", 16), ("8xlarge", 32))),
+    _family("aws", "i3", "NVMe-storage optimized", 1.00, 7.6, 1000, 180, 0.078, _SIZES),
+    # --- Azure-like -----------------------------------------------------
+    _family("azure", "D2v3", "general purpose", 0.98, 4, 115, 140, 0.050,
+            (("s2", 2), ("s4", 4), ("s8", 8), ("s16", 16))),
+    _family("azure", "F2v2", "compute optimized", 1.15, 2, 105, 160, 0.0423,
+            (("s2", 2), ("s4", 4), ("s8", 8), ("s16", 16))),
+    _family("azure", "E2v3", "memory optimized", 0.98, 8, 115, 140, 0.0633,
+            (("s2", 2), ("s4", 4), ("s8", 8), ("s16", 16))),
+    _family("azure", "L2v2", "storage optimized", 0.95, 8, 800, 170, 0.0687,
+            (("s2", 2), ("s4", 4), ("s8", 8), ("s16", 16))),
+    # --- GCE-like --------------------------------------------------------
+    _family("gcp", "n1-standard", "general purpose", 1.00, 3.75, 120, 150, 0.0475, _SIZES),
+    _family("gcp", "n1-highcpu", "compute optimized", 1.12, 0.9, 110, 160, 0.0354, _SIZES),
+    _family("gcp", "n1-highmem", "memory optimized", 1.00, 6.5, 120, 150, 0.0592, _SIZES),
+]
+
+CATALOGUE: dict[str, InstanceType] = {
+    t.name: t for fam in _FAMILIES for t in fam.sizes
+}
+
+FAMILIES: dict[str, InstanceFamily] = {f.name: f for f in _FAMILIES}
+
+
+def get_instance(name: str) -> InstanceType:
+    """Look up an instance type by name (e.g. ``"h1.4xlarge"``)."""
+    try:
+        return CATALOGUE[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown instance type {name!r}; known: {sorted(CATALOGUE)}"
+        ) from None
+
+
+def list_instances(provider: str | None = None, family: str | None = None):
+    """All instance types, optionally filtered by provider and/or family."""
+    types = list(CATALOGUE.values())
+    if provider is not None:
+        types = [t for t in types if t.provider == provider]
+    if family is not None:
+        types = [t for t in types if t.family == family]
+    return types

@@ -1,0 +1,104 @@
+"""Co-location interference model.
+
+Section IV.B of the paper argues that one-shot ("static") cloud-config
+choices are biased by *transient* co-location with other tenants: a test
+run may land next to a noisy neighbour, or in an atypically quiet slot.
+We model this as a slowly varying multiplicative contention process per
+resource (CPU, disk, network): an AR(1) mean-reverting series sampled at
+execution time, so two executions close in time see correlated
+interference while executions far apart are nearly independent.
+
+An :class:`Environment` instance is the "cloud weather" a simulated
+execution experiences; tuners never observe it directly — only its effect
+on runtime — exactly like real cloud tenants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["InterferenceModel", "Environment", "QUIET", "TYPICAL", "NOISY"]
+
+
+@dataclass(frozen=True)
+class Environment:
+    """Per-resource slowdown factors (>= 1.0) for one execution."""
+
+    cpu_factor: float = 1.0
+    disk_factor: float = 1.0
+    network_factor: float = 1.0
+
+    def __post_init__(self):
+        for f in (self.cpu_factor, self.disk_factor, self.network_factor):
+            if f < 1.0:
+                raise ValueError("interference factors are slowdowns (>= 1.0)")
+
+    def combined(self) -> float:
+        """Scalar summary used in reports (geometric mean of the factors)."""
+        return float(
+            (self.cpu_factor * self.disk_factor * self.network_factor) ** (1 / 3)
+        )
+
+
+QUIET = Environment(1.0, 1.0, 1.0)
+TYPICAL = Environment(1.03, 1.05, 1.08)
+NOISY = Environment(1.15, 1.35, 1.50)
+
+
+class InterferenceModel:
+    """Mean-reverting contention process over (virtual) time.
+
+    ``level`` controls the average severity: 0 disables interference
+    entirely (dedicated hosts), 1.0 reproduces the contention swings we
+    observed in shared-tenancy measurements (up to ~1.5x on network).
+    """
+
+    #: long-run mean excess contention per resource at level=1.0
+    _MEANS = {"cpu": 0.04, "disk": 0.08, "network": 0.12}
+    #: process volatility per resource at level=1.0
+    _SIGMAS = {"cpu": 0.03, "disk": 0.07, "network": 0.10}
+
+    def __init__(self, level: float = 1.0, correlation: float = 0.8,
+                 seed: int | np.random.Generator = 0):
+        if level < 0:
+            raise ValueError("level must be non-negative")
+        if not 0.0 <= correlation < 1.0:
+            raise ValueError("correlation must be in [0, 1)")
+        self.level = level
+        self.correlation = correlation
+        self._rng = np.random.default_rng(seed)
+        self._state = {k: 0.0 for k in self._MEANS}
+
+    def step(self) -> Environment:
+        """Advance the process one execution and return the environment."""
+        factors = {}
+        for key in self._MEANS:
+            mean = self._MEANS[key] * self.level
+            sigma = self._SIGMAS[key] * self.level
+            prev = self._state[key]
+            nxt = (
+                self.correlation * prev
+                + (1 - self.correlation) * mean
+                + sigma * np.sqrt(1 - self.correlation**2) * self._rng.normal()
+            )
+            self._state[key] = max(0.0, nxt)
+            factors[key] = 1.0 + self._state[key]
+        return Environment(
+            cpu_factor=factors["cpu"],
+            disk_factor=factors["disk"],
+            network_factor=factors["network"],
+        )
+
+    def burst(self, multiplier: float = 3.0) -> None:
+        """Inject a contention burst (a noisy neighbour arriving).
+
+        Used by the re-tuning benches (E6/E7) to create environment drift.
+        """
+        if multiplier < 0:
+            raise ValueError("multiplier must be non-negative")
+        for key in self._state:
+            self._state[key] = max(
+                self._state[key], self._MEANS[key] * self.level * multiplier
+            )

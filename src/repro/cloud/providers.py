@@ -1,0 +1,59 @@
+"""Cloud providers and their managed DISC-deployment services.
+
+The paper names Amazon EMR, Azure HDInsight and Google Dataproc as the
+"native" deployment services through which tuned workloads are launched
+(Section II.A).  A :class:`Provider` groups an instance catalogue slice
+with such a service name and a billing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .instances import InstanceType, list_instances
+
+__all__ = ["Provider", "PROVIDERS", "get_provider"]
+
+
+@dataclass(frozen=True)
+class Provider:
+    """A public cloud offering instances and a managed DISC service."""
+
+    name: str
+    deployment_service: str
+    #: fractional discount applied to long-running usage (GCP-style
+    #: sustained-use discounts; 0 for the others).
+    sustained_use_discount: float = 0.0
+
+    def instances(self) -> list[InstanceType]:
+        return list_instances(provider=self.name)
+
+    def families(self) -> list[str]:
+        return sorted({t.family for t in self.instances()})
+
+    def effective_hourly_price(self, instance: InstanceType, hours: float) -> float:
+        """Hourly price after sustained-use discount kicks in past 25% of a month."""
+        if instance.provider != self.name:
+            raise ValueError(
+                f"instance {instance.name} belongs to {instance.provider}, not {self.name}"
+            )
+        if hours < 0:
+            raise ValueError("hours must be non-negative")
+        if self.sustained_use_discount and hours > 730 * 0.25:
+            return instance.price_per_hour * (1 - self.sustained_use_discount)
+        return instance.price_per_hour
+
+
+PROVIDERS: dict[str, Provider] = {
+    "aws": Provider("aws", deployment_service="EMR"),
+    "azure": Provider("azure", deployment_service="HDInsight"),
+    "gcp": Provider("gcp", deployment_service="Dataproc", sustained_use_discount=0.2),
+}
+
+
+def get_provider(name: str) -> Provider:
+    """Look up a provider by name ("aws", "azure", "gcp")."""
+    try:
+        return PROVIDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown provider {name!r}; known: {sorted(PROVIDERS)}") from None

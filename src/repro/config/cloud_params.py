@@ -1,0 +1,50 @@
+"""Cloud configuration space: which VMs, and how many.
+
+This is the first-stage search space of the paper's Fig. 1 — the knobs
+CherryPick/PARIS explore.  The space is small but discrete and strongly
+interacting with the DISC configuration (e.g. executor cores vs vCPUs).
+"""
+
+from __future__ import annotations
+
+from ..cloud.instances import list_instances
+from .space import CategoricalParameter, ConfigurationSpace, IntParameter
+
+__all__ = ["cloud_space", "joint_space"]
+
+
+def cloud_space(provider: str | None = None,
+                min_nodes: int = 2, max_nodes: int = 20) -> ConfigurationSpace:
+    """Cloud search space: instance type x cluster size.
+
+    The 4-20 node range matches the paper's experimental clusters ("from
+    4 VMs to 20 VMs").
+    """
+    names = sorted(t.name for t in list_instances(provider=provider))
+    if not names:
+        raise ValueError(f"no instances for provider {provider!r}")
+    return ConfigurationSpace(
+        [
+            CategoricalParameter(
+                "cloud.instance_type", names,
+                default="m5.xlarge" if "m5.xlarge" in names else names[0],
+                description="VM shape for every cluster node.",
+            ),
+            IntParameter(
+                "cloud.cluster_size", min_nodes, max_nodes, default=4,
+                description="Number of cluster nodes.",
+            ),
+        ],
+        name=f"cloud-{provider or 'all'}",
+    )
+
+
+def joint_space(disc_space: ConfigurationSpace,
+                provider: str | None = None,
+                min_nodes: int = 2, max_nodes: int = 20) -> ConfigurationSpace:
+    """The joint cloud + DISC space the paper argues must be tuned together."""
+    cloud = cloud_space(provider, min_nodes, max_nodes)
+    return ConfigurationSpace(
+        cloud.parameters + disc_space.parameters,
+        name=f"joint-{disc_space.name}",
+    )

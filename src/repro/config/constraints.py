@@ -1,0 +1,102 @@
+"""Feasibility of a Spark configuration on a concrete cluster.
+
+Real cluster managers (YARN) grant fewer executors than requested when the
+request does not fit node resources; grossly oversized single-executor
+requests are rejected outright.  This module implements that packing
+logic, used both by the simulator (to determine *granted* resources) and
+by tuners that want to repair infeasible suggestions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..cloud.cluster import Cluster
+from .space import Configuration
+
+__all__ = ["ResourceGrant", "grant_resources", "repair"]
+
+
+@dataclass(frozen=True)
+class ResourceGrant:
+    """What the cluster manager actually allocates for an application."""
+
+    executors: int               # granted executor count
+    cores_per_executor: int
+    memory_per_executor_mb: int  # heap, excluding overhead
+    requested_executors: int
+
+    @property
+    def total_slots(self) -> int:
+        return self.executors * self.cores_per_executor
+
+    @property
+    def fully_granted(self) -> bool:
+        return self.executors == self.requested_executors
+
+
+def _container_footprint_mb(config: Mapping) -> float:
+    overhead = float(config.get("spark.executor.memoryOverheadFactor", 0.10))
+    return float(config["spark.executor.memory"]) * (1.0 + overhead)
+
+
+def grant_resources(config: Mapping, cluster: Cluster) -> ResourceGrant:
+    """Pack requested executors onto cluster nodes.
+
+    Returns a grant with ``executors == 0`` when even a single executor
+    container cannot fit on a node — the "plausible but crashes" case the
+    paper's Section IV warns about.
+    """
+    requested = int(config["spark.executor.instances"])
+    cores = int(config["spark.executor.cores"])
+    node_mem = cluster.instance.memory_mb
+    node_cores = cluster.instance.vcpus
+    container_mb = _container_footprint_mb(config)
+
+    # The driver occupies resources on one node (client/cluster deploy mode).
+    driver_mb = float(config.get("spark.driver.memory", 1024))
+    driver_cores = int(config.get("spark.driver.cores", 1))
+
+    per_node_by_mem = int(node_mem // container_mb)
+    per_node_by_cpu = node_cores // cores if cores <= node_cores else 0
+    per_node = min(per_node_by_mem, per_node_by_cpu)
+    if per_node <= 0:
+        return ResourceGrant(0, cores, int(config["spark.executor.memory"]), requested)
+
+    # Driver node has reduced headroom.
+    driver_node_mem = max(0.0, node_mem - driver_mb)
+    driver_node_cores = max(0, node_cores - driver_cores)
+    on_driver_node = min(
+        int(driver_node_mem // container_mb),
+        driver_node_cores // cores if cores <= driver_node_cores else 0,
+    )
+    capacity = on_driver_node + per_node * (cluster.count - 1)
+    granted = min(requested, capacity)
+    return ResourceGrant(
+        executors=granted,
+        cores_per_executor=cores,
+        memory_per_executor_mb=int(config["spark.executor.memory"]),
+        requested_executors=requested,
+    )
+
+
+def repair(config: Configuration, cluster: Cluster) -> Configuration:
+    """Clamp executor sizing so at least one executor fits per node.
+
+    Leaves already-feasible configurations untouched.  Used by tuners that
+    prefer repairing suggestions over observing crash penalties.
+    """
+    grant = grant_resources(config, cluster)
+    if grant.executors > 0:
+        return config
+    node_mem = cluster.instance.memory_mb
+    node_cores = cluster.instance.vcpus
+    overhead = float(config.get("spark.executor.memoryOverheadFactor", 0.10))
+    max_heap = int(node_mem / (1.0 + overhead) * 0.9)
+    updates = {}
+    if config["spark.executor.memory"] > max_heap:
+        updates["spark.executor.memory"] = max(512, max_heap)
+    if config["spark.executor.cores"] > node_cores:
+        updates["spark.executor.cores"] = node_cores
+    return config.replace(**updates)

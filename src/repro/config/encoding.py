@@ -1,0 +1,89 @@
+"""Feature encodings of configurations for surrogate models.
+
+Two encoders are provided:
+
+* :class:`UnitEncoder` — one column per parameter, values in [0, 1]
+  (ordinal treatment of categoricals).  Compact; used by GP tuners.
+* :class:`OneHotEncoder` — categoricals and booleans expand into indicator
+  columns.  Used by tree ensembles and linear models, where ordinal
+  treatment of unordered choices would invent spurious structure.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from .space import (
+    BoolParameter,
+    CategoricalParameter,
+    Configuration,
+    ConfigurationSpace,
+)
+
+__all__ = ["UnitEncoder", "OneHotEncoder"]
+
+
+class UnitEncoder:
+    """Encode configurations as unit-hypercube vectors (invertible)."""
+
+    def __init__(self, space: ConfigurationSpace):
+        self.space = space
+
+    @property
+    def dimension(self) -> int:
+        return self.space.dimension
+
+    @property
+    def feature_names(self) -> list[str]:
+        return self.space.names
+
+    def encode(self, config: Mapping) -> np.ndarray:
+        return self.space.encode(config)
+
+    def encode_many(self, configs) -> np.ndarray:
+        return np.array([self.encode(c) for c in configs], dtype=float)
+
+    def decode(self, vector: np.ndarray) -> Configuration:
+        return self.space.decode(vector)
+
+
+class OneHotEncoder:
+    """Encode configurations with one-hot categoricals (not invertible)."""
+
+    def __init__(self, space: ConfigurationSpace):
+        self.space = space
+        self._columns: list[tuple[str, object]] = []
+        for p in space.parameters:
+            if isinstance(p, CategoricalParameter):
+                for choice in p.choices:
+                    self._columns.append((p.name, choice))
+            else:
+                self._columns.append((p.name, None))
+
+    @property
+    def dimension(self) -> int:
+        return len(self._columns)
+
+    @property
+    def feature_names(self) -> list[str]:
+        names = []
+        for pname, choice in self._columns:
+            names.append(pname if choice is None else f"{pname}={choice}")
+        return names
+
+    def encode(self, config: Mapping) -> np.ndarray:
+        row = np.zeros(len(self._columns), dtype=float)
+        for j, (pname, choice) in enumerate(self._columns):
+            p = self.space[pname]
+            if choice is not None:
+                row[j] = 1.0 if config[pname] == choice else 0.0
+            elif isinstance(p, BoolParameter):
+                row[j] = 1.0 if config[pname] else 0.0
+            else:
+                row[j] = p.to_unit(config[pname])
+        return row
+
+    def encode_many(self, configs) -> np.ndarray:
+        return np.array([self.encode(c) for c in configs], dtype=float)

@@ -1,0 +1,202 @@
+"""Catalogue of Spark configuration parameters.
+
+Mirrors the real Apache Spark configuration surface (the paper cites ~200
+parameters; tuning studies such as BestConfig and DAC tune 30-41 of them).
+We define the 32 parameters that dominate execution behaviour across
+processing, memory, shuffle, serialization, and scheduling — the same
+categories Section III.B of the paper enumerates.  Defaults follow the
+Spark 2.x documentation, which is what the paper's prototype tuned.
+
+Units: memory in MiB unless the name says otherwise, buffers in KiB where
+real Spark uses KiB, time in seconds.
+"""
+
+from __future__ import annotations
+
+from .space import (
+    BoolParameter,
+    CategoricalParameter,
+    ConfigurationSpace,
+    FloatParameter,
+    IntParameter,
+)
+
+__all__ = [
+    "spark_space",
+    "spark_core_space",
+    "SPARK_DEFAULTS",
+    "TUNED_BY_PROTOTYPE",
+]
+
+# The subset our simulator's cost model responds to most strongly; a good
+# tuner must also discover that the remaining knobs matter little — real
+# spaces contain low-sensitivity dimensions and the paper's accuracy
+# discussion (Section II.C) hinges on models coping with that.
+TUNED_BY_PROTOTYPE = [
+    "spark.executor.instances",
+    "spark.executor.cores",
+    "spark.executor.memory",
+    "spark.memory.fraction",
+    "spark.memory.storageFraction",
+    "spark.default.parallelism",
+    "spark.shuffle.compress",
+    "spark.io.compression.codec",
+    "spark.serializer",
+    "spark.shuffle.file.buffer",
+    "spark.reducer.maxSizeInFlight",
+    "spark.speculation",
+]
+
+
+def _parameters():
+    return [
+        # --- Processing / resources -------------------------------------
+        IntParameter(
+            "spark.executor.instances", 1, 48, default=2,
+            description="Number of executor processes requested for the application.",
+        ),
+        IntParameter(
+            "spark.executor.cores", 1, 16, default=1,
+            description="Concurrent task slots per executor.",
+        ),
+        IntParameter(
+            "spark.executor.memory", 512, 65536, default=1024, log=True,
+            description="Executor heap size (MiB).",
+        ),
+        IntParameter(
+            "spark.driver.memory", 512, 16384, default=1024, log=True,
+            description="Driver heap size (MiB).",
+        ),
+        IntParameter(
+            "spark.driver.cores", 1, 8, default=1,
+            description="Cores used by the driver process.",
+        ),
+        IntParameter(
+            "spark.task.cpus", 1, 4, default=1,
+            description="CPUs reserved per task.",
+        ),
+        IntParameter(
+            "spark.default.parallelism", 8, 2000, default=16, log=True,
+            description="Default number of partitions for shuffles and parallelize.",
+        ),
+        FloatParameter(
+            "spark.executor.memoryOverheadFactor", 0.06, 0.4, default=0.10,
+            description="Off-heap overhead as a fraction of executor memory.",
+        ),
+        # --- Memory management -------------------------------------------
+        FloatParameter(
+            "spark.memory.fraction", 0.3, 0.9, default=0.6,
+            description="Fraction of heap for unified execution+storage memory.",
+        ),
+        FloatParameter(
+            "spark.memory.storageFraction", 0.1, 0.9, default=0.5,
+            description="Fraction of unified memory immune to execution eviction.",
+        ),
+        BoolParameter(
+            "spark.memory.offHeap.enabled", default=False,
+            description="Use off-heap memory for execution.",
+        ),
+        IntParameter(
+            "spark.memory.offHeap.size", 0, 16384, default=0,
+            description="Off-heap memory size (MiB) when enabled.",
+        ),
+        # --- Shuffle -------------------------------------------------------
+        BoolParameter(
+            "spark.shuffle.compress", default=True,
+            description="Compress map output files.",
+        ),
+        BoolParameter(
+            "spark.shuffle.spill.compress", default=True,
+            description="Compress data spilled during shuffles.",
+        ),
+        IntParameter(
+            "spark.shuffle.file.buffer", 16, 1024, default=32, log=True,
+            description="In-memory buffer per shuffle file output stream (KiB).",
+        ),
+        IntParameter(
+            "spark.reducer.maxSizeInFlight", 8, 512, default=48, log=True,
+            description="Max map output fetched simultaneously per reducer (MiB).",
+        ),
+        IntParameter(
+            "spark.shuffle.io.numConnectionsPerPeer", 1, 8, default=1,
+            description="Connections reused between shuffle peers.",
+        ),
+        BoolParameter(
+            "spark.shuffle.consolidateFiles", default=False,
+            description="Consolidate intermediate shuffle files.",
+        ),
+        IntParameter(
+            "spark.shuffle.sort.bypassMergeThreshold", 50, 1000, default=200,
+            description="Reducer count under which sort shuffle bypasses merge.",
+        ),
+        # --- Serialization / compression ------------------------------------
+        CategoricalParameter(
+            "spark.serializer", ["java", "kryo"], default="java",
+            description="Object serializer for shuffled/cached data.",
+        ),
+        CategoricalParameter(
+            "spark.io.compression.codec", ["lz4", "snappy", "zstd"], default="lz4",
+            description="Block compression codec.",
+        ),
+        IntParameter(
+            "spark.io.compression.blockSize", 16, 512, default=32, log=True,
+            description="Compression block size (KiB).",
+        ),
+        BoolParameter(
+            "spark.rdd.compress", default=False,
+            description="Compress serialized cached partitions.",
+        ),
+        IntParameter(
+            "spark.kryoserializer.buffer.max", 8, 256, default=64, log=True,
+            description="Maximum Kryo buffer (MiB).",
+        ),
+        # --- Storage / caching ------------------------------------------------
+        CategoricalParameter(
+            "spark.storage.level", ["MEMORY_ONLY", "MEMORY_AND_DISK", "MEMORY_ONLY_SER"],
+            default="MEMORY_ONLY",
+            description="Persistence level used for cached RDDs.",
+        ),
+        IntParameter(
+            "spark.broadcast.blockSize", 1, 32, default=4,
+            description="TorrentBroadcast block size (MiB).",
+        ),
+        # --- Scheduling ---------------------------------------------------------
+        FloatParameter(
+            "spark.locality.wait", 0.0, 10.0, default=3.0,
+            description="Seconds to wait for data-local scheduling before degrading.",
+        ),
+        BoolParameter(
+            "spark.speculation", default=False,
+            description="Re-launch straggling tasks speculatively.",
+        ),
+        FloatParameter(
+            "spark.speculation.multiplier", 1.1, 5.0, default=1.5,
+            description="How many times slower than median a task must be to respeculate.",
+        ),
+        FloatParameter(
+            "spark.speculation.quantile", 0.5, 0.95, default=0.75,
+            description="Fraction of tasks that must finish before speculation.",
+        ),
+        IntParameter(
+            "spark.scheduler.revive.interval", 1, 10, default=1,
+            description="Seconds between scheduler offer revival rounds.",
+        ),
+        # --- Network -----------------------------------------------------------
+        IntParameter(
+            "spark.network.timeout", 60, 600, default=120,
+            description="Default network timeout (s).",
+        ),
+    ]
+
+
+def spark_space() -> ConfigurationSpace:
+    """The full 32-parameter Spark tuning space."""
+    return ConfigurationSpace(_parameters(), name="spark")
+
+
+def spark_core_space() -> ConfigurationSpace:
+    """The 12-parameter high-sensitivity subspace the prototype tuned."""
+    return spark_space().subspace(TUNED_BY_PROTOTYPE, name="spark-core")
+
+
+SPARK_DEFAULTS = {p.name: p.default for p in _parameters()}

@@ -1,0 +1,86 @@
+"""Tuning-cost amortization analysis (paper Section IV.C).
+
+"The cost of workload tuning should not outweigh the runtime cost of the
+workload before it requires re-tuning."  The paper's worked example:
+BestConfig's 500 tuning executions consume more resources than the ~90
+production runs of an exemplar workload over 3 months.  This module
+computes break-even points, net savings over a recurrence horizon, and
+the user-side cost under provider-side offloading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AmortizationInputs", "AmortizationReport", "analyze_amortization"]
+
+
+@dataclass(frozen=True)
+class AmortizationInputs:
+    """Everything the amortization calculation needs."""
+
+    tuning_cost_usd: float              # total cost of the tuning campaign
+    default_run_cost_usd: float         # production run cost, untuned
+    tuned_run_cost_usd: float           # production run cost, tuned
+    runs_per_month: float               # workload recurrence rate
+    months_until_retuning: float        # lifetime of the tuned config
+    #: fraction of tuning cost borne by the user (1.0 = today's isolated
+    #: tuning; 0.0 = the paper's vision of full provider-side offload)
+    user_cost_share: float = 1.0
+
+    def __post_init__(self):
+        if min(self.tuning_cost_usd, self.default_run_cost_usd,
+               self.tuned_run_cost_usd) < 0:
+            raise ValueError("costs must be non-negative")
+        if self.runs_per_month < 0 or self.months_until_retuning < 0:
+            raise ValueError("rates must be non-negative")
+        if not 0.0 <= self.user_cost_share <= 1.0:
+            raise ValueError("user_cost_share must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class AmortizationReport:
+    """Break-even and net-saving outcomes."""
+
+    saving_per_run_usd: float
+    runs_before_retuning: float
+    breakeven_runs: float               # inf when tuning never pays off
+    breakeven_months: float
+    amortizes: bool                     # pays off before re-tuning is needed
+    net_saving_usd: float               # over the config's lifetime, user side
+    user_tuning_cost_usd: float
+
+    def describe(self) -> str:
+        status = "amortizes" if self.amortizes else "does NOT amortize"
+        return (
+            f"tuning {status}: breakeven at {self.breakeven_runs:.0f} runs "
+            f"({self.breakeven_months:.1f} months), "
+            f"{self.runs_before_retuning:.0f} runs available, "
+            f"net user saving ${self.net_saving_usd:.2f}"
+        )
+
+
+def analyze_amortization(inputs: AmortizationInputs) -> AmortizationReport:
+    """Compute break-even and net savings for a tuning campaign."""
+    saving = inputs.default_run_cost_usd - inputs.tuned_run_cost_usd
+    user_tuning_cost = inputs.tuning_cost_usd * inputs.user_cost_share
+    runs_available = inputs.runs_per_month * inputs.months_until_retuning
+    if saving > 0:
+        breakeven = user_tuning_cost / saving
+        breakeven_months = (
+            breakeven / inputs.runs_per_month if inputs.runs_per_month > 0
+            else float("inf")
+        )
+    else:
+        breakeven = float("inf")
+        breakeven_months = float("inf")
+    net = saving * runs_available - user_tuning_cost
+    return AmortizationReport(
+        saving_per_run_usd=saving,
+        runs_before_retuning=runs_available,
+        breakeven_runs=breakeven,
+        breakeven_months=breakeven_months,
+        amortizes=breakeven <= runs_available,
+        net_saving_usd=net,
+        user_tuning_cost_usd=user_tuning_cost,
+    )

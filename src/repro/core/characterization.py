@@ -1,0 +1,124 @@
+"""Workload characterization from observable execution metrics.
+
+Challenge V.B of the paper: "the accurate characterization of analytic
+workloads is crucial in being able to detect similarities between them
+... to avoid any negative transfer".  The signature here is derived
+purely from Spark-style metrics (resource-time split, shuffle intensity,
+DAG shape, task skew) — never from workload identity — so similarity
+genuinely depends on characterization quality, as it would for a cloud
+provider.
+
+Signatures are most comparable when produced under the same *probe*
+configuration (the service runs each newly submitted workload once under
+a canonical probe config, mirroring AROMA's standardized profiling run).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config.space import Configuration
+from ..config.spark_params import SPARK_DEFAULTS
+from ..sparksim.metrics import ExecutionResult
+
+__all__ = ["signature", "FEATURE_NAMES", "probe_configuration"]
+
+FEATURE_NAMES = [
+    "log_input_mb",
+    "shuffle_ratio",       # shuffle bytes per input byte
+    "cpu_fraction",
+    "io_fraction",
+    "net_fraction",
+    "gc_fraction",
+    "cache_fraction",      # cached reads vs all reads
+    "log_num_stages",
+    "log_tasks_per_stage",
+    "task_skew",           # p95 / median task duration
+    "output_ratio",        # bytes written out per input byte
+]
+
+
+def probe_configuration() -> Configuration:
+    """The canonical probe config used for first-contact profiling runs.
+
+    Moderate resources that virtually always fit (AROMA profiles every
+    job once under a standard allocation before clustering it).
+    """
+    probe = dict(SPARK_DEFAULTS)
+    probe.update({
+        "spark.executor.instances": 8,
+        "spark.executor.cores": 4,
+        "spark.executor.memory": 8192,
+        "spark.default.parallelism": 128,
+        "spark.serializer": "kryo",
+    })
+    return Configuration(probe)
+
+
+def signature(result: ExecutionResult) -> np.ndarray:
+    """Characterization vector of one execution (see ``FEATURE_NAMES``)."""
+    stages = [s for s in result.stages if not s.failed]
+    input_mb = max(1.0, result.total_input_mb)
+    task_seconds = sum(
+        s.cpu_time_s + s.io_time_s + s.net_time_s + s.gc_time_s for s in stages
+    )
+    task_seconds = max(task_seconds, 1e-9)
+    cpu = sum(s.cpu_time_s for s in stages) / task_seconds
+    io = sum(s.io_time_s for s in stages) / task_seconds
+    net = sum(s.net_time_s for s in stages) / task_seconds
+    gc = sum(s.gc_time_s for s in stages) / task_seconds
+
+    reads = sum(s.input_mb + s.cached_read_mb + s.shuffle_read_mb for s in stages)
+    cached = sum(s.cached_read_mb for s in stages)
+    cache_fraction = cached / reads if reads > 0 else 0.0
+
+    shuffle_ratio = min(5.0, result.total_shuffle_mb / input_mb)
+    output_mb = sum(s.output_mb if s.writes_output else 0.0 for s in stages)
+    output_ratio = min(3.0, output_mb / input_mb)
+
+    n_stages = max(1, len(stages))
+    tasks_per_stage = max(1.0, result.num_tasks / n_stages)
+
+    skews = [
+        s.task_metrics.p95_s / s.task_metrics.p50_s
+        for s in stages
+        if s.task_metrics is not None and s.task_metrics.p50_s > 0
+    ]
+    task_skew = float(np.mean(skews)) if skews else 1.0
+
+    return np.array([
+        np.log10(input_mb),
+        shuffle_ratio,
+        cpu,
+        io,
+        net,
+        gc,
+        cache_fraction,
+        np.log10(n_stages),
+        np.log10(tasks_per_stage),
+        min(task_skew, 5.0),
+        output_ratio,
+    ])
+
+
+#: per-feature scale used to put distances on comparable footing
+_FEATURE_SCALE = np.array([
+    2.0,    # log_input_mb spans ~2 decades
+    1.0,    # shuffle_ratio
+    0.5, 0.5, 0.5, 0.25,   # resource fractions
+    0.5,    # cache_fraction
+    1.0,    # log_num_stages
+    1.0,    # log_tasks_per_stage
+    1.0,    # task_skew
+    1.0,    # output_ratio
+])
+
+
+def scaled(sig: np.ndarray) -> np.ndarray:
+    """Scale a signature for distance computations."""
+    sig = np.asarray(sig, dtype=float)
+    if sig.shape != (_FEATURE_SCALE.shape[0],):
+        raise ValueError(
+            f"signature must have {len(_FEATURE_SCALE)} features, got {sig.shape}"
+        )
+    return sig / _FEATURE_SCALE

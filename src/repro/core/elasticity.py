@@ -1,0 +1,103 @@
+"""Elastic cluster sizing for recurring workloads (Section IV.B).
+
+Static cloud choices "miss the opportunity of using the cloud's
+elasticity features when the workload changes".  The
+:class:`ElasticScaler` learns an Ernest-style scaling model from the
+deployment's own production history and re-sizes the cluster per run as
+the input grows or shrinks — minimizing dollar cost, optionally under a
+runtime ceiling (the cost/runtime trade-off of Section IV.D).
+
+It explores deliberately at first (a model fitted on one cluster size
+cannot extrapolate over machines), then exploits the fitted model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cloud.cluster import Cluster
+from ..cloud.instances import InstanceType
+from ..tuning.ernest import ErnestModel
+
+__all__ = ["ElasticScaler", "ScalerObservation"]
+
+
+@dataclass(frozen=True)
+class ScalerObservation:
+    nodes: int
+    input_mb: float
+    runtime_s: float
+
+
+@dataclass
+class ElasticScaler:
+    """Chooses cluster sizes for successive production runs."""
+
+    instance: InstanceType
+    min_nodes: int = 2
+    max_nodes: int = 20
+    #: optimize "price" (USD per run) or "runtime"
+    objective: str = "price"
+    #: optional runtime ceiling when optimizing price
+    runtime_cap_s: float | None = None
+    _observations: list[ScalerObservation] = field(default_factory=list)
+    _explore_plan: list[int] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not 1 <= self.min_nodes <= self.max_nodes:
+            raise ValueError("need 1 <= min_nodes <= max_nodes")
+        if self.objective not in ("price", "runtime"):
+            raise ValueError("objective must be 'price' or 'runtime'")
+        lo, hi = self.min_nodes, self.max_nodes
+        mid = (lo + hi) // 2
+        self._explore_plan = [mid, lo, hi]
+
+    # --- learning ----------------------------------------------------------
+    def observe(self, nodes: int, input_mb: float, runtime_s: float) -> None:
+        if runtime_s <= 0:
+            raise ValueError("runtime must be positive")
+        self._observations.append(ScalerObservation(nodes, input_mb, runtime_s))
+
+    def _distinct_node_counts(self) -> int:
+        return len({o.nodes for o in self._observations})
+
+    def _fitted_model(self) -> ErnestModel | None:
+        if len(self._observations) < 3 or self._distinct_node_counts() < 2:
+            return None
+        model = ErnestModel()
+        model.fit(
+            [o.nodes for o in self._observations],
+            [o.input_mb for o in self._observations],
+            [o.runtime_s for o in self._observations],
+        )
+        return model
+
+    # --- decisions -----------------------------------------------------------
+    def choose_nodes(self, input_mb: float) -> int:
+        """Cluster size for the next run over ``input_mb`` of input."""
+        model = self._fitted_model()
+        if model is None:
+            # Exploration: visit distinct sizes to identify the model.
+            idx = min(len(self._observations), len(self._explore_plan) - 1)
+            return self._explore_plan[idx]
+        sizes = np.arange(self.min_nodes, self.max_nodes + 1)
+        predicted = model.predict(sizes.astype(float),
+                                  np.full(len(sizes), input_mb))
+        predicted = np.maximum(predicted, 1.0)
+        if self.objective == "runtime":
+            return int(sizes[int(np.argmin(predicted))])
+        cost = predicted * sizes * self.instance.price_per_hour / 3600.0
+        if self.runtime_cap_s is not None:
+            feasible = predicted <= self.runtime_cap_s
+            if feasible.any():
+                cost = np.where(feasible, cost, np.inf)
+        return int(sizes[int(np.argmin(cost))])
+
+    def cluster_for(self, input_mb: float) -> Cluster:
+        return Cluster(self.instance, self.choose_nodes(input_mb))
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._observations)

@@ -1,0 +1,123 @@
+"""Provider-side execution history store.
+
+The centerpiece of the paper's feasibility argument (Section IV): "The
+cloud is a centralized place that is able to keep a record of the
+different workloads' execution history under different cloud and DISC
+system configurations, across users."  The store records every execution
+with its observable metrics signature; the similarity and transfer
+modules mine it *without* access to ground-truth workload identity
+across tenants (labels are per-tenant opaque strings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config.space import Configuration
+from ..sparksim.metrics import ExecutionResult
+
+__all__ = ["ExecutionRecord", "HistoryStore"]
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """One workload execution as the provider sees it."""
+
+    record_id: int
+    tenant: str
+    workload_label: str          # tenant-scoped opaque label
+    input_mb: float
+    cluster: str                 # e.g. "4x h1.4xlarge (aws)"
+    config: Configuration
+    runtime_s: float
+    success: bool
+    signature: np.ndarray        # workload characterization vector
+    #: logical timestamp (provider-side event counter)
+    timestamp: int = 0
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.tenant, self.workload_label)
+
+
+class HistoryStore:
+    """In-memory multi-tenant execution history with query helpers."""
+
+    def __init__(self):
+        self._records: list[ExecutionRecord] = []
+        self._next_id = 0
+        self._clock = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def record(self, tenant: str, workload_label: str, input_mb: float,
+               cluster: str, config: Configuration, result: ExecutionResult,
+               signature: np.ndarray) -> ExecutionRecord:
+        rec = ExecutionRecord(
+            record_id=self._next_id,
+            tenant=tenant,
+            workload_label=workload_label,
+            input_mb=input_mb,
+            cluster=cluster,
+            config=config,
+            runtime_s=result.runtime_s,
+            success=result.success,
+            signature=np.asarray(signature, dtype=float),
+            timestamp=self._clock,
+        )
+        self._next_id += 1
+        self._clock += 1
+        self._records.append(rec)
+        return rec
+
+    def add(self, record: ExecutionRecord) -> None:
+        """Insert a pre-built record (e.g. loaded from disk).
+
+        Advances the id/clock counters past the record's, so records
+        created afterwards never collide with loaded ones.
+        """
+        self._records.append(record)
+        self._next_id = max(self._next_id, record.record_id + 1)
+        self._clock = max(self._clock, record.timestamp + 1)
+
+    # --- queries ----------------------------------------------------------
+    def all(self) -> list[ExecutionRecord]:
+        return list(self._records)
+
+    def for_workload(self, tenant: str, workload_label: str) -> list[ExecutionRecord]:
+        return [r for r in self._records if r.key == (tenant, workload_label)]
+
+    def tenants(self) -> list[str]:
+        return sorted({r.tenant for r in self._records})
+
+    def workload_keys(self) -> list[tuple[str, str]]:
+        return sorted({r.key for r in self._records})
+
+    def successful(self) -> list[ExecutionRecord]:
+        return [r for r in self._records if r.success]
+
+    def best_for(self, tenant: str, workload_label: str) -> ExecutionRecord | None:
+        runs = [r for r in self.for_workload(tenant, workload_label) if r.success]
+        if not runs:
+            return None
+        return min(runs, key=lambda r: r.runtime_s)
+
+    def mean_signature(self, tenant: str, workload_label: str) -> np.ndarray | None:
+        """Averaged characterization across a workload's executions."""
+        runs = [r for r in self.for_workload(tenant, workload_label) if r.success]
+        if not runs:
+            return None
+        return np.mean([r.signature for r in runs], axis=0)
+
+    def best_runtime_overall(self, workload_label_filter=None) -> float | None:
+        """Best runtime of any similar-labelled workload (SLO reference)."""
+        runs = [
+            r for r in self.successful()
+            if workload_label_filter is None or workload_label_filter(r)
+        ]
+        if not runs:
+            return None
+        return min(r.runtime_s for r in runs)

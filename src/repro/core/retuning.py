@@ -1,0 +1,174 @@
+"""Re-tuning detection (paper challenge V.D).
+
+"Simply picking fixed percentual runtime deltas as thresholds for
+re-tuning are likely to lead to it being done either too frequently or
+too late."  We implement the fixed-threshold baseline the paper
+criticizes plus adaptive sequential change detectors (Page-Hinkley,
+CUSUM, and a sliding-window z-test) so the E6 bench can measure
+precision/recall/delay for each.
+
+Detectors consume the per-run runtimes of a recurring workload and fire
+when the workload's characteristics appear to have changed enough that
+the current configuration is stale.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+
+import numpy as np
+
+__all__ = [
+    "DriftDetector",
+    "FixedThresholdDetector",
+    "PageHinkleyDetector",
+    "CusumDetector",
+    "WindowedZTestDetector",
+]
+
+
+class DriftDetector(ABC):
+    """Sequential detector over a stream of runtimes."""
+
+    def __init__(self):
+        self.n_seen = 0
+        self.n_alarms = 0
+
+    def update(self, runtime_s: float) -> bool:
+        """Feed one runtime; returns True when re-tuning should trigger."""
+        if runtime_s <= 0 or not np.isfinite(runtime_s):
+            raise ValueError(f"runtime must be positive and finite, got {runtime_s}")
+        self.n_seen += 1
+        fired = self._update(runtime_s)
+        if fired:
+            self.n_alarms += 1
+            self.reset()
+        return fired
+
+    @abstractmethod
+    def _update(self, runtime_s: float) -> bool: ...
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Restart after an alarm (re-tuning re-baselines the workload)."""
+
+
+class FixedThresholdDetector(DriftDetector):
+    """The baseline heuristic: alarm when a run exceeds (1+delta) x baseline.
+
+    The baseline is the mean of the first ``warmup`` runs.  Over-sensitive
+    to noise for small ``delta`` (false re-tunes) and blind to slow drift
+    for large ``delta`` (late re-tunes) — exactly the failure mode
+    Section V.D describes.
+    """
+
+    def __init__(self, delta: float = 0.2, warmup: int = 3):
+        super().__init__()
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        if warmup < 1:
+            raise ValueError("warmup must be >= 1")
+        self.delta = delta
+        self.warmup = warmup
+        self._baseline_runs: list[float] = []
+
+    def _update(self, runtime_s: float) -> bool:
+        if len(self._baseline_runs) < self.warmup:
+            self._baseline_runs.append(runtime_s)
+            return False
+        baseline = float(np.mean(self._baseline_runs))
+        return runtime_s > baseline * (1.0 + self.delta)
+
+    def reset(self) -> None:
+        self._baseline_runs = []
+
+
+class PageHinkleyDetector(DriftDetector):
+    """Page-Hinkley test on log-runtimes (robust to scale)."""
+
+    def __init__(self, delta: float = 0.03, threshold: float = 0.65):
+        super().__init__()
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.delta = delta
+        self.threshold = threshold
+        self._mean = 0.0
+        self._n = 0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+
+    def _update(self, runtime_s: float) -> bool:
+        x = np.log(runtime_s)
+        self._n += 1
+        self._mean += (x - self._mean) / self._n
+        self._cumulative += x - self._mean - self.delta
+        self._minimum = min(self._minimum, self._cumulative)
+        return (self._cumulative - self._minimum) > self.threshold
+
+    def reset(self) -> None:
+        self._mean = 0.0
+        self._n = 0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+
+
+class CusumDetector(DriftDetector):
+    """One-sided CUSUM on standardized log-runtime residuals."""
+
+    def __init__(self, k: float = 0.75, h: float = 5.0, warmup: int = 8):
+        super().__init__()
+        if h <= 0:
+            raise ValueError("h must be positive")
+        if warmup < 2:
+            raise ValueError("warmup must be >= 2")
+        self.k = k
+        self.h = h
+        self.warmup = warmup
+        self._history: list[float] = []
+        self._s = 0.0
+
+    def _update(self, runtime_s: float) -> bool:
+        x = np.log(runtime_s)
+        if len(self._history) < self.warmup:
+            self._history.append(x)
+            return False
+        mu = float(np.mean(self._history))
+        sigma = float(np.std(self._history)) or 1e-6
+        z = (x - mu) / sigma
+        self._s = max(0.0, self._s + z - self.k)
+        return self._s > self.h
+
+    def reset(self) -> None:
+        self._history = []
+        self._s = 0.0
+
+
+class WindowedZTestDetector(DriftDetector):
+    """Compare a recent window against a reference window (ADWIN-lite)."""
+
+    def __init__(self, reference: int = 10, recent: int = 5, z_threshold: float = 4.5):
+        super().__init__()
+        if reference < 2 or recent < 2:
+            raise ValueError("windows must hold at least 2 runs")
+        if z_threshold <= 0:
+            raise ValueError("z_threshold must be positive")
+        self.reference_size = reference
+        self.recent_size = recent
+        self.z_threshold = z_threshold
+        self._buffer: deque[float] = deque(maxlen=reference + recent)
+
+    def _update(self, runtime_s: float) -> bool:
+        self._buffer.append(np.log(runtime_s))
+        if len(self._buffer) < self.reference_size + self.recent_size:
+            return False
+        data = np.array(self._buffer)
+        ref, rec = data[: self.reference_size], data[self.reference_size:]
+        pooled = np.sqrt(
+            ref.var() / len(ref) + rec.var() / len(rec)
+        ) or 1e-6
+        z = (rec.mean() - ref.mean()) / pooled
+        return abs(z) > self.z_threshold
+
+    def reset(self) -> None:
+        self._buffer.clear()

@@ -1,0 +1,274 @@
+"""The seamless tuning service — the paper's vision, end to end.
+
+Implements Fig. 1's two-stage flow as a provider-side service with the
+four principles of Section IV:
+
+1. *Seamlessness*: :meth:`TuningService.submit` takes a workload and an
+   SLO; cluster choice, DISC configuration, probing and model choice are
+   invisible to the tenant.
+2. *Resilience to change*: :meth:`run_production` monitors recurring
+   executions with a drift detector and re-tunes automatically when the
+   workload (input size) or environment (interference) shifts.
+3. *Bounded user cost*: exploratory executions are charged to a
+   provider-side ledger; sessions stop early via CherryPick's EI rule;
+   similar workloads' history warm-starts new tenants' models.
+4. *Tuning-effectiveness SLOs*: every deployment carries an SLO report
+   comparing achieved runtime against the chosen reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cloud.cluster import Cluster
+from ..cloud.interference import QUIET, InterferenceModel
+from ..cloud.pricing import CostLedger
+from ..config.cloud_params import cloud_space
+from ..config.space import Configuration, ConfigurationSpace
+from ..config.spark_params import spark_core_space
+from ..sparksim.simulator import SparkSimulator
+from ..tuning.base import Observation, SimulationObjective
+from ..tuning.bo.bayesopt import BayesOptTuner
+from .characterization import probe_configuration, signature
+from .history import HistoryStore
+from .retuning import DriftDetector, PageHinkleyDetector
+from .session import SessionConfig, TuningSession
+from .slo import SLOMetric, SLOReport, TuningSLO, evaluate_slo
+from .transfer import build_transfer_plan
+
+__all__ = ["Deployment", "ProductionRun", "TuningService"]
+
+
+@dataclass
+class Deployment:
+    """A tuned workload deployment handed back to the tenant."""
+
+    tenant: str
+    workload_label: str
+    workload: object
+    input_mb: float
+    cluster: Cluster
+    config: Configuration
+    expected_runtime_s: float
+    slo_report: SLOReport | None
+    tuning_evaluations: int
+    transferred_from: list[str] = field(default_factory=list)
+    retuned_count: int = 0
+
+
+@dataclass(frozen=True)
+class ProductionRun:
+    """One production execution plus any service action taken."""
+
+    index: int
+    runtime_s: float
+    success: bool
+    input_mb: float
+    retuned: bool
+
+
+class TuningService:
+    """Provider-side seamless configuration tuning (Fig. 1 realized)."""
+
+    def __init__(self, provider: str = "aws",
+                 simulator: SparkSimulator | None = None,
+                 disc_space: ConfigurationSpace | None = None,
+                 interference_level: float = 0.0,
+                 seed: int = 0):
+        self.provider = provider
+        self.simulator = simulator or SparkSimulator()
+        self.disc_space = disc_space or spark_core_space()
+        self.cloud_space = cloud_space(provider)
+        self.store = HistoryStore()
+        self.ledger = CostLedger()
+        self.seed = seed
+        self._session_counter = 0
+        self.interference = (
+            InterferenceModel(level=interference_level, seed=seed)
+            if interference_level > 0 else None
+        )
+
+    def _next_seed(self) -> int:
+        self._session_counter += 1
+        return self.seed + 7919 * self._session_counter
+
+    # --- stage 1: cloud configuration ------------------------------------
+    def tune_cloud(self, workload, input_mb: float, budget: int = 12,
+                   metric: str = "price") -> tuple[Cluster, int]:
+        """Pick instance type + cluster size (CherryPick-style BO).
+
+        Returns the provisioned cluster and the evaluations spent.
+        """
+        seed = self._next_seed()
+        objective = SimulationObjective(
+            workload, input_mb, cluster=None,
+            simulator=self.simulator,
+            base_config=dict(probe_configuration()),
+            interference=self.interference,
+            ledger=self.ledger, metric=metric, seed=seed,
+            # The probe's executor sizing is repaired per candidate
+            # cluster: stage 1 compares clusters, not crash behaviour.
+            repair=True,
+        )
+        tuner = BayesOptTuner(self.cloud_space, seed=seed, n_init=min(6, budget))
+        evaluations = 0
+        for i in range(budget):
+            config = tuner.suggest()
+            tuner.observe(config, objective(config))
+            evaluations += 1
+            if i >= 6 and tuner.should_stop(0.05):
+                break
+        best = tuner.best.config
+        cluster = Cluster.of(best["cloud.instance_type"], int(best["cloud.cluster_size"]))
+        return cluster, evaluations
+
+    # --- stage 2: DISC configuration ------------------------------------------
+    def tune_disc(self, tenant: str, workload_label: str, workload,
+                  input_mb: float, cluster: Cluster, budget: int = 25,
+                  use_transfer: bool = True) -> tuple[TuningSession, list[str]]:
+        """Tune the Spark configuration, warm-started from similar history."""
+        seed = self._next_seed()
+        objective = SimulationObjective(
+            workload, input_mb, cluster=cluster, simulator=self.simulator,
+            interference=self.interference, ledger=self.ledger, seed=seed,
+            # The service repairs obviously-unsatisfiable executor sizing
+            # before launching (a competent operator never requests 4-core
+            # executors on 2-core nodes); genuinely bad-but-launchable
+            # configurations still run and still crash.
+            repair=True,
+        )
+        # Probe to characterize, then look for transferable knowledge.
+        probe_cost = objective(probe_configuration())
+        probe_result = objective.last_result
+        sig = signature(probe_result)
+        self.store.record(
+            tenant, workload_label, input_mb, cluster.describe(),
+            probe_configuration(), probe_result, sig,
+        )
+        warm_start, sources = [], []
+        if use_transfer:
+            plan = build_transfer_plan(
+                self.store, sig, self.disc_space,
+                exclude=(tenant, workload_label),
+                target_scale_runtime=probe_cost,
+            )
+            warm_start = plan.observations
+            sources = [f"{s.tenant}/{s.workload_label}" for s in plan.sources]
+        tuner = BayesOptTuner(
+            self.disc_space, seed=seed,
+            n_init=4 if warm_start else 8,
+            warm_start=warm_start or None,
+        )
+        session = TuningSession(
+            tenant=tenant, workload_label=workload_label, workload=workload,
+            input_mb=input_mb, cluster=cluster, tuner=tuner,
+            objective=objective, store=self.store,
+        )
+        # The probe is a paid measurement: feed it to the tuner and the
+        # campaign history (as it actually launched, post-repair), so the
+        # deployed configuration is never worse than the probe.
+        _, probe_as_run = objective.resolve(probe_configuration())
+        projected = Configuration({
+            name: probe_as_run[name] for name in self.disc_space.names
+        })
+        tuner.observe(projected, probe_cost)
+        session.result.history.append(Observation(projected, probe_cost))
+
+        session.run(SessionConfig(budget=budget, min_evaluations=min(10, budget)))
+        return session, sources
+
+    # --- the seamless front door ---------------------------------------------
+    def submit(self, tenant: str, workload, input_mb: float,
+               workload_label: str | None = None,
+               slo: TuningSLO | None = None,
+               cloud_budget: int = 12, disc_budget: int = 25,
+               use_transfer: bool = True,
+               cloud_metric: str = "price") -> Deployment:
+        """Deploy a workload with everything tuned on the tenant's behalf.
+
+        ``cloud_metric`` expresses the user's trade-off (Section IV.D: "do
+        I need the results quickly no matter the cost, or am I willing to
+        wait?") — ``"price"`` minimizes dollar cost per run, ``"runtime"``
+        minimizes wall-clock.
+        """
+        label = workload_label or workload.name
+        cluster, cloud_evals = self.tune_cloud(
+            workload, input_mb, budget=cloud_budget, metric=cloud_metric,
+        )
+        session, sources = self.tune_disc(
+            tenant, label, workload, input_mb, cluster,
+            budget=disc_budget, use_transfer=use_transfer,
+        )
+        best = session.result.best
+        # Deploy the configuration as the objective actually launched it
+        # (fully resolved against defaults and repaired to fit the cluster).
+        _, deployed_config = session.objective.resolve(best.config)
+        slo_report = None
+        if slo is not None:
+            reference = self._slo_reference(slo, tenant, label, session)
+            if reference is not None:
+                slo_report = evaluate_slo(slo, best.cost, reference)
+        return Deployment(
+            tenant=tenant, workload_label=label, workload=workload,
+            input_mb=input_mb, cluster=cluster, config=deployed_config,
+            expected_runtime_s=best.cost, slo_report=slo_report,
+            tuning_evaluations=cloud_evals + session.result.n_evaluations,
+            transferred_from=sources,
+        )
+
+    def _slo_reference(self, slo: TuningSLO, tenant: str, label: str,
+                       session: TuningSession) -> float | None:
+        if slo.metric is SLOMetric.IMPROVEMENT_OVER_DEFAULT:
+            return session.objective(self.disc_space.default_configuration())
+        if slo.metric is SLOMetric.WITHIN_BEST_SIMILAR:
+            runs = [
+                r for r in self.store.successful()
+                if r.key != (tenant, label)
+            ]
+            return min((r.runtime_s for r in runs), default=None)
+        # WITHIN_OPTIMAL: best the service has ever seen for this workload.
+        best = self.store.best_for(tenant, label)
+        return best.runtime_s if best else None
+
+    # --- principle 2: production monitoring + auto re-tuning ----------------
+    def run_production(self, deployment: Deployment, input_sizes_mb,
+                       detector: DriftDetector | None = None,
+                       retune_budget: int = 15) -> list[ProductionRun]:
+        """Run recurring executions, re-tuning when drift is detected."""
+        detector = detector or PageHinkleyDetector()
+        runs: list[ProductionRun] = []
+        seed = self._next_seed()
+        for i, input_mb in enumerate(input_sizes_mb):
+            env = self.interference.step() if self.interference else QUIET
+            result = self.simulator.run(
+                deployment.workload, input_mb, deployment.cluster,
+                deployment.config, env=env, seed=seed + i,
+            )
+            self.ledger.charge_production(deployment.cluster, result.runtime_s)
+            self.store.record(
+                deployment.tenant, deployment.workload_label, input_mb,
+                deployment.cluster.describe(), deployment.config, result,
+                signature(result),
+            )
+            retuned = False
+            runtime = result.effective_runtime()
+            if detector.update(runtime):
+                session, _ = self.tune_disc(
+                    deployment.tenant, deployment.workload_label,
+                    deployment.workload, input_mb, deployment.cluster,
+                    budget=retune_budget, use_transfer=True,
+                )
+                _, deployment.config = session.objective.resolve(
+                    session.result.best_config
+                )
+                deployment.expected_runtime_s = session.result.best_cost
+                deployment.input_mb = input_mb
+                deployment.retuned_count += 1
+                retuned = True
+            runs.append(ProductionRun(
+                index=i, runtime_s=result.runtime_s, success=result.success,
+                input_mb=input_mb, retuned=retuned,
+            ))
+        return runs

@@ -1,0 +1,106 @@
+"""A single tuning campaign: probe, tune, record — with stopping rules.
+
+Wraps a tuner + simulation objective so every exploratory execution is
+recorded into the provider history store and charged to a cost ledger.
+Stopping combines a hard budget with CherryPick's EI rule and an
+optional SLO-attained early exit — bounding tuning cost is principle 3
+of the paper's vision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cloud.cluster import Cluster
+from ..cloud.pricing import CostLedger
+from ..config.space import Configuration, ConfigurationSpace
+from ..sparksim.metrics import ExecutionResult
+from ..tuning.base import Observation, SimulationObjective, Tuner, TuningResult
+from ..tuning.bo.bayesopt import BayesOptTuner
+from .characterization import probe_configuration, signature
+from .history import HistoryStore
+
+__all__ = ["SessionConfig", "TuningSession"]
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Knobs of a tuning campaign."""
+
+    budget: int = 25
+    ei_stop_fraction: float | None = 0.02   # CherryPick stop rule; None = off
+    min_evaluations: int = 10
+    target_runtime_s: float | None = None   # SLO early exit
+
+
+@dataclass
+class TuningSession:
+    """Drives one tuner against one workload on one cluster."""
+
+    tenant: str
+    workload_label: str
+    workload: object                        # repro.workloads.Workload
+    input_mb: float
+    cluster: Cluster
+    tuner: Tuner
+    objective: SimulationObjective
+    store: HistoryStore | None = None
+    ledger: CostLedger | None = None
+    result: TuningResult = field(default_factory=TuningResult)
+
+    def _record(self, config: Configuration, exec_result: ExecutionResult) -> None:
+        if self.store is None:
+            return
+        self.store.record(
+            tenant=self.tenant,
+            workload_label=self.workload_label,
+            input_mb=self.input_mb,
+            cluster=self.cluster.describe(),
+            config=config,
+            result=exec_result,
+            signature=signature(exec_result),
+        )
+
+    def probe(self, observe: bool = True) -> tuple[np.ndarray, float]:
+        """One canonical-config profiling run; returns (signature, runtime).
+
+        With ``observe`` (default), the probe measurement also feeds the
+        tuner and the campaign history: it is a paid execution, and the
+        deployed configuration should never be worse than it.
+        """
+        probe = probe_configuration()
+        cost = self.objective(probe)
+        exec_result = self.objective.last_result
+        self._record(probe, exec_result)
+        if observe:
+            projected = Configuration({
+                name: probe[name] for name in self.tuner.space.names
+            })
+            self.tuner.observe(projected, cost)
+            self.result.history.append(Observation(projected, cost))
+        return signature(exec_result), cost
+
+    def run(self, session_config: SessionConfig = SessionConfig()) -> TuningResult:
+        """Tune until the budget, the EI rule, or the SLO target stops us."""
+        cfg = session_config
+        for i in range(cfg.budget):
+            suggestion = self.tuner.suggest()
+            cost = self.objective(suggestion)
+            self.tuner.observe(suggestion, cost)
+            self.result.history.append(Observation(suggestion, cost))
+            self._record(suggestion, self.objective.last_result)
+            if self.ledger is not None and self.objective.ledger is None:
+                self.ledger.charge_tuning(self.cluster, self.objective.last_result.runtime_s)
+            if i + 1 < cfg.min_evaluations:
+                continue
+            if cfg.target_runtime_s is not None and self.result.best_cost <= cfg.target_runtime_s:
+                break
+            if (
+                cfg.ei_stop_fraction is not None
+                and isinstance(self.tuner, BayesOptTuner)
+                and self.tuner.should_stop(cfg.ei_stop_fraction)
+            ):
+                break
+        return self.result

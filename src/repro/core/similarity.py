@@ -1,0 +1,120 @@
+"""Workload similarity: distances, k-medoids clustering, neighbour lookup.
+
+AROMA (Lama & Zhou, ICAC'12) clusters executed jobs by their resource
+signatures with k-medoids and reuses per-cluster tuning knowledge; the
+paper's challenge V.B asks for exactly this machinery as the basis for
+cross-workload transfer.  Implemented from scratch (PAM-style build +
+swap phases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .characterization import scaled
+from .history import HistoryStore
+
+__all__ = ["signature_distance", "KMedoids", "find_similar_workloads", "SimilarWorkload"]
+
+
+def signature_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance between scaled characterization vectors."""
+    return float(np.linalg.norm(scaled(a) - scaled(b)))
+
+
+class KMedoids:
+    """Partitioning Around Medoids for small/medium datasets."""
+
+    def __init__(self, k: int, max_iter: int = 50, seed: int = 0):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.max_iter = max_iter
+        self.rng = np.random.default_rng(seed)
+        self.medoid_indices_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+
+    @staticmethod
+    def _distance_matrix(X: np.ndarray) -> np.ndarray:
+        diff = X[:, None, :] - X[None, :, :]
+        return np.sqrt(np.sum(diff**2, axis=-1))
+
+    def fit(self, X: np.ndarray) -> "KMedoids":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        n = len(X)
+        if n < self.k:
+            raise ValueError(f"need at least k={self.k} points, got {n}")
+        D = self._distance_matrix(X)
+
+        # BUILD: greedy medoid selection minimizing total distance.
+        medoids = [int(np.argmin(D.sum(axis=1)))]
+        while len(medoids) < self.k:
+            current = np.min(D[:, medoids], axis=1)
+            gains = np.maximum(0.0, current[None, :] - D).sum(axis=1)
+            gains[medoids] = -np.inf
+            medoids.append(int(np.argmax(gains)))
+
+        # SWAP: hill-climb on total cost.
+        def total_cost(meds):
+            return float(np.min(D[:, meds], axis=1).sum())
+
+        cost = total_cost(medoids)
+        for _ in range(self.max_iter):
+            improved = False
+            for mi in range(self.k):
+                for candidate in range(n):
+                    if candidate in medoids:
+                        continue
+                    trial = list(medoids)
+                    trial[mi] = candidate
+                    c = total_cost(trial)
+                    if c + 1e-12 < cost:
+                        medoids, cost = trial, c
+                        improved = True
+            if not improved:
+                break
+
+        self.medoid_indices_ = np.array(sorted(medoids))
+        self.labels_ = np.argmin(D[:, self.medoid_indices_], axis=1)
+        return self
+
+    def predict(self, X: np.ndarray, medoid_points: np.ndarray) -> np.ndarray:
+        """Assign new points to the nearest of ``medoid_points``."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        d = np.linalg.norm(X[:, None, :] - medoid_points[None, :, :], axis=-1)
+        return np.argmin(d, axis=1)
+
+
+@dataclass(frozen=True)
+class SimilarWorkload:
+    """A neighbour in signature space, with provenance."""
+
+    tenant: str
+    workload_label: str
+    distance: float
+    signature: np.ndarray
+
+
+def find_similar_workloads(store: HistoryStore, target_signature: np.ndarray,
+                           k: int = 3, exclude: tuple[str, str] | None = None,
+                           max_distance: float = np.inf) -> list[SimilarWorkload]:
+    """Nearest workloads in the provider history by mean signature.
+
+    ``max_distance`` implements the negative-transfer guard the paper
+    warns about (citing Ge et al.): workloads beyond the radius are not
+    considered similar at all.
+    """
+    neighbours = []
+    for tenant, label in store.workload_keys():
+        if exclude is not None and (tenant, label) == exclude:
+            continue
+        mean_sig = store.mean_signature(tenant, label)
+        if mean_sig is None:
+            continue
+        d = signature_distance(target_signature, mean_sig)
+        if d <= max_distance:
+            neighbours.append(SimilarWorkload(tenant, label, d, mean_sig))
+    neighbours.sort(key=lambda s: s.distance)
+    return neighbours[:k]

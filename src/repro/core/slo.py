@@ -1,0 +1,90 @@
+"""Tuning-effectiveness SLOs (paper Sections IV.D and V.C).
+
+"Jobs should run within X% of the optimal runtime" — the paper proposes
+this as the language for a new class of SLOs, while acknowledging the
+optimal is unknowable and listing candidate substitutes: distance from
+the best configuration found for a *similar* workload, or improvement
+over the default configuration.  All three metrics are implemented so
+the E4 bench can compare their behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["SLOMetric", "TuningSLO", "SLOReport", "evaluate_slo"]
+
+
+class SLOMetric(Enum):
+    """Candidate definitions of 'optimal' for the SLO denominator."""
+
+    #: distance from the true optimal runtime (measurable only in
+    #: simulation / exhaustive studies — the aspirational metric)
+    WITHIN_OPTIMAL = "within_optimal"
+    #: distance from the best runtime of similar workloads ever run in
+    #: the cloud (the paper's suggested practical replacement)
+    WITHIN_BEST_SIMILAR = "within_best_similar"
+    #: improvement over the default configuration
+    IMPROVEMENT_OVER_DEFAULT = "improvement_over_default"
+
+
+@dataclass(frozen=True)
+class TuningSLO:
+    """An agreed target, e.g. 'within 20% of optimal'."""
+
+    metric: SLOMetric
+    target_fraction: float
+
+    def __post_init__(self):
+        if self.target_fraction < 0:
+            raise ValueError("target_fraction must be non-negative")
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Outcome of evaluating one SLO for one tuned workload."""
+
+    slo: TuningSLO
+    achieved_runtime_s: float
+    reference_runtime_s: float
+    value: float          # metric value (distance fraction or improvement)
+    attained: bool
+
+    def describe(self) -> str:
+        if self.slo.metric is SLOMetric.IMPROVEMENT_OVER_DEFAULT:
+            return (
+                f"improvement over default: {self.value:.1%} "
+                f"(target >= {self.slo.target_fraction:.0%}) -> "
+                f"{'ATTAINED' if self.attained else 'MISSED'}"
+            )
+        return (
+            f"within {self.value:.1%} of {self.slo.metric.value} "
+            f"(target <= {self.slo.target_fraction:.0%}) -> "
+            f"{'ATTAINED' if self.attained else 'MISSED'}"
+        )
+
+
+def evaluate_slo(slo: TuningSLO, achieved_runtime_s: float,
+                 reference_runtime_s: float) -> SLOReport:
+    """Evaluate ``achieved`` against ``reference`` under the SLO's metric.
+
+    ``reference`` means: the optimal runtime (WITHIN_OPTIMAL), the best
+    similar workload's runtime (WITHIN_BEST_SIMILAR), or the default-
+    configuration runtime (IMPROVEMENT_OVER_DEFAULT).
+    """
+    if achieved_runtime_s <= 0 or reference_runtime_s <= 0:
+        raise ValueError("runtimes must be positive")
+    if slo.metric is SLOMetric.IMPROVEMENT_OVER_DEFAULT:
+        value = (reference_runtime_s - achieved_runtime_s) / reference_runtime_s
+        attained = value >= slo.target_fraction
+    else:
+        value = achieved_runtime_s / reference_runtime_s - 1.0
+        attained = value <= slo.target_fraction
+    return SLOReport(
+        slo=slo,
+        achieved_runtime_s=achieved_runtime_s,
+        reference_runtime_s=reference_runtime_s,
+        value=value,
+        attained=attained,
+    )

@@ -1,0 +1,91 @@
+"""Cross-workload transfer of tuning knowledge (paper challenge V.B).
+
+"The idea here is to use a pre-trained model 'template' to initialize
+models for workloads with similar characteristics, which are then
+fine-tuned" — implemented as warm-starting: observations from similar
+workloads in the provider history are injected (with cost rescaling and
+a trust weight) into the new workload's model-based tuner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config.space import Configuration, ConfigurationSpace
+from .history import HistoryStore
+from .similarity import SimilarWorkload, find_similar_workloads
+
+__all__ = ["TransferPlan", "build_transfer_plan"]
+
+
+@dataclass
+class TransferPlan:
+    """Warm-start observations mined from similar workloads."""
+
+    sources: list[SimilarWorkload]
+    observations: list[tuple[Configuration, float]]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.observations
+
+
+def _project(config: Configuration, space: ConfigurationSpace) -> Configuration | None:
+    """Restrict a historical configuration onto the target space.
+
+    Histories may span different spaces (cloud vs DISC, different
+    subsets); only parameters present and valid in the target space are
+    usable.  Returns ``None`` when too few parameters overlap.
+    """
+    values = {}
+    for p in space.parameters:
+        if p.name not in config:
+            return None
+        try:
+            p.validate(config[p.name])
+        except ValueError:
+            return None
+        values[p.name] = config[p.name]
+    return Configuration(values)
+
+
+def build_transfer_plan(store: HistoryStore, target_signature: np.ndarray,
+                        space: ConfigurationSpace,
+                        exclude: tuple[str, str] | None = None,
+                        k_sources: int = 2,
+                        max_distance: float = 1.5,
+                        max_observations: int = 20,
+                        target_scale_runtime: float | None = None) -> TransferPlan:
+    """Assemble warm-start observations from the nearest history workloads.
+
+    Costs are rescaled so the source's *median* run maps onto
+    ``target_scale_runtime`` (the target's probe runtime — itself a
+    mid-quality configuration): what transfers is the *shape* of the
+    response surface, not absolute runtimes.  Anchoring at the median
+    keeps the source's best runs below the target's probe level, so the
+    warmed model still expects improvements to exist.  The
+    ``max_distance`` radius guards against negative transfer.
+    """
+    sources = find_similar_workloads(
+        store, target_signature, k=k_sources, exclude=exclude,
+        max_distance=max_distance,
+    )
+    observations: list[tuple[Configuration, float]] = []
+    for src in sources:
+        runs = [r for r in store.for_workload(src.tenant, src.workload_label) if r.success]
+        if not runs:
+            continue
+        runs.sort(key=lambda r: r.runtime_s)
+        median = runs[len(runs) // 2].runtime_s
+        scale = 1.0
+        if target_scale_runtime is not None and median > 0:
+            scale = target_scale_runtime / median
+        budget = max(1, max_observations // max(1, len(sources)))
+        for rec in runs[: budget]:
+            projected = _project(rec.config, space)
+            if projected is None:
+                continue
+            observations.append((projected, rec.runtime_s * scale))
+    return TransferPlan(sources=sources, observations=observations[:max_observations])

@@ -1,0 +1,45 @@
+"""Discrete-event Spark simulator: RDDs, DAGs, executors, cost model."""
+
+from .costmodel import Calibration, StageCost, TaskCost, compute_stage_cost, with_overrides
+from .dag import CacheRegistry, JobPlan, StageProfile, compile_job
+from .eventlog import event_lines, read_event_log, write_event_log
+from .executor import ExecutorModel
+from .memory import CachePlan, SpillOutcome, gc_fraction, plan_cache, spill_outcome
+from .metrics import ExecutionResult, StageMetrics, TaskMetrics
+from .rdd import RDD, Job
+from .scheduler import StageSchedule, schedule_stage
+from .shuffle import CODECS, SERIALIZERS, shuffle_read, shuffle_write
+from .simulator import SparkSimulator
+
+__all__ = [
+    "RDD",
+    "Job",
+    "StageProfile",
+    "JobPlan",
+    "CacheRegistry",
+    "compile_job",
+    "ExecutorModel",
+    "CachePlan",
+    "SpillOutcome",
+    "plan_cache",
+    "spill_outcome",
+    "gc_fraction",
+    "CODECS",
+    "SERIALIZERS",
+    "shuffle_read",
+    "shuffle_write",
+    "Calibration",
+    "TaskCost",
+    "StageCost",
+    "compute_stage_cost",
+    "with_overrides",
+    "StageSchedule",
+    "schedule_stage",
+    "event_lines",
+    "write_event_log",
+    "read_event_log",
+    "ExecutionResult",
+    "StageMetrics",
+    "TaskMetrics",
+    "SparkSimulator",
+]

@@ -1,0 +1,121 @@
+"""Spark history-server-style event logs.
+
+Real providers mine Spark event logs, not Python objects; this module
+serializes an :class:`~repro.sparksim.metrics.ExecutionResult` into a
+JSON-lines event log shaped after Spark's (`SparkListenerApplicationStart`,
+`SparkListenerStageCompleted`, ...) and parses it back, so the
+characterization pipeline can run from logs alone.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .metrics import ExecutionResult, StageMetrics, TaskMetrics
+
+__all__ = ["write_event_log", "read_event_log", "event_lines"]
+
+
+def event_lines(result: ExecutionResult) -> list[str]:
+    """Render the execution as JSON-lines events."""
+    events: list[dict] = [{
+        "Event": "SparkListenerApplicationStart",
+        "App Name": result.workload,
+        "Input MB": result.input_mb,
+        "Executors Granted": result.executors_granted,
+        "Executors Requested": result.executors_requested,
+        "Total Slots": result.total_slots,
+        "Environment Factor": result.environment_factor,
+    }]
+    for s in result.stages:
+        stage_event = {
+            "Event": "SparkListenerStageCompleted",
+            "Stage Info": {
+                "Stage ID": s.stage_id,
+                "Stage Name": s.name,
+                "Number of Tasks": s.num_tasks,
+                "Duration": s.duration_s,
+                "Failed": s.failed,
+                "Input MB": s.input_mb,
+                "Cached Read MB": s.cached_read_mb,
+                "Shuffle Read MB": s.shuffle_read_mb,
+                "Shuffle Write MB": s.shuffle_write_mb,
+                "Spill MB": s.spill_mb,
+                "Output MB": s.output_mb,
+                "Writes Output": s.writes_output,
+                "Executor CPU Time": s.cpu_time_s,
+                "JVM GC Time": s.gc_time_s,
+                "Disk Time": s.io_time_s,
+                "Network Time": s.net_time_s,
+            },
+        }
+        if s.task_metrics is not None:
+            stage_event["Task Metrics"] = {
+                "Count": s.task_metrics.count,
+                "Mean": s.task_metrics.mean_s,
+                "P50": s.task_metrics.p50_s,
+                "P95": s.task_metrics.p95_s,
+                "Max": s.task_metrics.max_s,
+            }
+        events.append(stage_event)
+    events.append({
+        "Event": "SparkListenerApplicationEnd",
+        "Runtime": result.runtime_s,
+        "Success": result.success,
+        "Failure Reason": result.failure_reason,
+    })
+    return [json.dumps(e) for e in events]
+
+
+def write_event_log(result: ExecutionResult, path: str | Path) -> None:
+    """Write the execution's event log to ``path`` (JSON lines)."""
+    Path(path).write_text("\n".join(event_lines(result)) + "\n")
+
+
+def read_event_log(path: str | Path) -> ExecutionResult:
+    """Parse an event log back into an :class:`ExecutionResult`."""
+    lines = [json.loads(line) for line in Path(path).read_text().splitlines() if line]
+    start = next(e for e in lines if e["Event"] == "SparkListenerApplicationStart")
+    end = next(e for e in lines if e["Event"] == "SparkListenerApplicationEnd")
+    stages = []
+    for e in lines:
+        if e["Event"] != "SparkListenerStageCompleted":
+            continue
+        info = e["Stage Info"]
+        tm = e.get("Task Metrics")
+        stages.append(StageMetrics(
+            stage_id=int(info["Stage ID"]),
+            name=str(info["Stage Name"]),
+            num_tasks=int(info["Number of Tasks"]),
+            duration_s=float(info["Duration"]),
+            input_mb=float(info["Input MB"]),
+            cached_read_mb=float(info["Cached Read MB"]),
+            shuffle_read_mb=float(info["Shuffle Read MB"]),
+            shuffle_write_mb=float(info["Shuffle Write MB"]),
+            spill_mb=float(info["Spill MB"]),
+            cpu_time_s=float(info["Executor CPU Time"]),
+            gc_time_s=float(info["JVM GC Time"]),
+            io_time_s=float(info["Disk Time"]),
+            net_time_s=float(info["Network Time"]),
+            task_metrics=TaskMetrics(
+                count=int(tm["Count"]), mean_s=float(tm["Mean"]),
+                p50_s=float(tm["P50"]), p95_s=float(tm["P95"]),
+                max_s=float(tm["Max"]),
+            ) if tm else None,
+            failed=bool(info["Failed"]),
+            output_mb=float(info["Output MB"]),
+            writes_output=bool(info["Writes Output"]),
+        ))
+    return ExecutionResult(
+        workload=str(start["App Name"]),
+        input_mb=float(start["Input MB"]),
+        runtime_s=float(end["Runtime"]),
+        success=bool(end["Success"]),
+        stages=stages,
+        executors_granted=int(start["Executors Granted"]),
+        executors_requested=int(start["Executors Requested"]),
+        total_slots=int(start["Total Slots"]),
+        failure_reason=end.get("Failure Reason"),
+        environment_factor=float(start["Environment Factor"]),
+    )

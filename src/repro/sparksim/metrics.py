@@ -1,0 +1,117 @@
+"""Execution metrics emitted by the simulator.
+
+Shaped after the Spark event-log / REST metrics the paper's provider-side
+service would mine: per-stage task statistics, shuffle volumes, spill and
+GC time.  The characterization module (:mod:`repro.core.characterization`)
+derives workload signatures *only* from these observable metrics, never
+from ground-truth workload identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TaskMetrics", "StageMetrics", "ExecutionResult"]
+
+
+@dataclass(frozen=True)
+class TaskMetrics:
+    """Aggregate task-duration statistics for one stage."""
+
+    count: int
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    max_s: float
+
+
+@dataclass(frozen=True)
+class StageMetrics:
+    """Observable metrics for one completed (or failed) stage."""
+
+    stage_id: int
+    name: str
+    num_tasks: int
+    duration_s: float
+    input_mb: float
+    cached_read_mb: float
+    shuffle_read_mb: float
+    shuffle_write_mb: float
+    spill_mb: float
+    cpu_time_s: float          # summed task CPU seconds
+    gc_time_s: float           # summed GC seconds
+    io_time_s: float           # summed disk wait
+    net_time_s: float          # summed network wait
+    task_metrics: TaskMetrics | None = None
+    failed: bool = False
+    output_mb: float = 0.0     # written to external storage
+    writes_output: bool = False
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of one workload execution under one configuration."""
+
+    workload: str
+    input_mb: float
+    runtime_s: float
+    success: bool
+    stages: list[StageMetrics] = field(default_factory=list)
+    executors_granted: int = 0
+    executors_requested: int = 0
+    total_slots: int = 0
+    failure_reason: str | None = None
+    #: environment (interference) summary factor; 1.0 = quiet
+    environment_factor: float = 1.0
+
+    # --- aggregates used for characterization -----------------------------
+    @property
+    def total_input_mb(self) -> float:
+        return sum(s.input_mb for s in self.stages)
+
+    @property
+    def total_shuffle_mb(self) -> float:
+        return sum(s.shuffle_write_mb for s in self.stages)
+
+    @property
+    def total_spill_mb(self) -> float:
+        return sum(s.spill_mb for s in self.stages)
+
+    @property
+    def total_cpu_s(self) -> float:
+        return sum(s.cpu_time_s for s in self.stages)
+
+    @property
+    def total_gc_s(self) -> float:
+        return sum(s.gc_time_s for s in self.stages)
+
+    @property
+    def total_io_s(self) -> float:
+        return sum(s.io_time_s for s in self.stages)
+
+    @property
+    def total_net_s(self) -> float:
+        return sum(s.net_time_s for s in self.stages)
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def num_tasks(self) -> int:
+        return sum(s.num_tasks for s in self.stages)
+
+    def effective_runtime(self, failure_penalty: float = 4.0,
+                          failure_floor_s: float = 3600.0) -> float:
+        """Runtime for optimization purposes; failures cost a penalty.
+
+        A crashed execution consumed cluster time and produced nothing —
+        tuners see it as ``failure_penalty`` times the wasted wall-clock,
+        floored at ``failure_floor_s`` (an hour of fix-execute-debug cycle,
+        per the paper's Section IV: "Any failed test execution is expensive
+        and has a long fix-execute-debug cycle").  The floor guarantees a
+        crash is never preferable to any completed run.
+        """
+        if self.success:
+            return self.runtime_s
+        return max(self.runtime_s * failure_penalty, failure_floor_s)

@@ -1,0 +1,177 @@
+"""RDD lineage model.
+
+Implements the programming-model half of the paper's Fig. 2: workloads
+are written against an RDD API (sources, narrow transformations, wide
+shuffles, caching, actions); invoking an action yields a :class:`Job`
+whose lineage the DAG compiler (:mod:`repro.sparksim.dag`) cuts into
+stages at wide dependencies.
+
+Sizes are logical data volumes in MB; ``cpu_s_per_mb`` is the CPU cost of
+applying an operator per MB of *its input* on a reference core.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["RDD", "Job"]
+
+_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class _Op:
+    """One transformation applied within an RDD's pipelined chain."""
+
+    kind: str             # "source" | "narrow" | "wide"
+    name: str
+    cpu_s_per_mb: float   # cost per MB of op input
+    size_ratio: float     # output MB / input MB
+
+
+class RDD:
+    """A node in the lineage graph.
+
+    Narrow transformations extend the current pipelined chain; wide
+    transformations start a new RDD whose parent dependency crosses a
+    shuffle boundary.
+    """
+
+    def __init__(self, *, op: _Op, parents: tuple["RDD", ...], input_mb: float,
+                 partitions: int | None, record_bytes: float,
+                 shuffle_partitions: int | None = None):
+        self.id = next(_ids)
+        self.op = op
+        self.parents = parents
+        self.input_mb = input_mb          # MB entering this op
+        self.size_mb = input_mb * op.size_ratio
+        self.partitions = partitions      # None = use spark.default.parallelism
+        self.record_bytes = record_bytes
+        self.shuffle_partitions = shuffle_partitions
+        self.cached = False
+        #: fraction of in-memory size that cannot be spilled incrementally
+        #: (hash-aggregation state, single-record buffers); set by wide ops.
+        self.unspillable_fraction = 0.05
+
+    # --- constructors ----------------------------------------------------
+    @staticmethod
+    def source(name: str, size_mb: float, partitions: int | None = None,
+               record_bytes: float = 100.0) -> "RDD":
+        """An external dataset (HDFS/S3).  Default partitioning: 128 MB splits."""
+        if size_mb <= 0:
+            raise ValueError("source size must be positive")
+        if partitions is None:
+            partitions = max(1, int(round(size_mb / 128.0)))
+        op = _Op("source", name, cpu_s_per_mb=0.0, size_ratio=1.0)
+        return RDD(op=op, parents=(), input_mb=size_mb, partitions=partitions,
+                   record_bytes=record_bytes)
+
+    # --- narrow transformations ------------------------------------------
+    def _narrow(self, name, cpu, ratio, record_bytes=None) -> "RDD":
+        op = _Op("narrow", name, cpu_s_per_mb=cpu, size_ratio=ratio)
+        child = RDD(op=op, parents=(self,), input_mb=self.size_mb,
+                    partitions=self.partitions,
+                    record_bytes=record_bytes or self.record_bytes)
+        child.unspillable_fraction = self.unspillable_fraction
+        return child
+
+    def map(self, name="map", cpu_s_per_mb=0.01, size_ratio=1.0) -> "RDD":
+        return self._narrow(name, cpu_s_per_mb, size_ratio)
+
+    def flat_map(self, name="flatMap", cpu_s_per_mb=0.02, size_ratio=1.5) -> "RDD":
+        return self._narrow(name, cpu_s_per_mb, size_ratio)
+
+    def filter(self, name="filter", cpu_s_per_mb=0.004, keep=0.5) -> "RDD":
+        if not 0 < keep <= 1:
+            raise ValueError("keep fraction must be in (0, 1]")
+        return self._narrow(name, cpu_s_per_mb, keep)
+
+    # --- wide transformations ---------------------------------------------
+    def _wide(self, name, cpu, ratio, partitions, unspillable) -> "RDD":
+        op = _Op("wide", name, cpu_s_per_mb=cpu, size_ratio=ratio)
+        child = RDD(op=op, parents=(self,), input_mb=self.size_mb,
+                    partitions=partitions, record_bytes=self.record_bytes,
+                    shuffle_partitions=partitions)
+        child.unspillable_fraction = unspillable
+        return child
+
+    def reduce_by_key(self, name="reduceByKey", cpu_s_per_mb=0.015,
+                      size_ratio=0.3, partitions: int | None = None) -> "RDD":
+        """Map-side combining: shuffles ``size_ratio`` of the input."""
+        return self._wide(name, cpu_s_per_mb, size_ratio, partitions, unspillable=0.10)
+
+    def group_by_key(self, name="groupByKey", cpu_s_per_mb=0.012,
+                     partitions: int | None = None) -> "RDD":
+        """No map-side combining: the whole dataset crosses the shuffle."""
+        return self._wide(name, cpu_s_per_mb, 1.0, partitions, unspillable=0.30)
+
+    def sort_by(self, name="sortBy", cpu_s_per_mb=0.025,
+                partitions: int | None = None) -> "RDD":
+        return self._wide(name, cpu_s_per_mb, 1.0, partitions, unspillable=0.12)
+
+    def join(self, other: "RDD", name="join", cpu_s_per_mb=0.02,
+             partitions: int | None = None) -> "RDD":
+        """Shuffle join of two lineages."""
+        op = _Op("wide", name, cpu_s_per_mb=cpu_s_per_mb, size_ratio=1.0)
+        child = RDD(op=op, parents=(self, other),
+                    input_mb=self.size_mb + other.size_mb,
+                    partitions=partitions,
+                    record_bytes=max(self.record_bytes, other.record_bytes),
+                    shuffle_partitions=partitions)
+        child.unspillable_fraction = 0.25
+        return child
+
+    # --- caching / actions --------------------------------------------------
+    def cache(self) -> "RDD":
+        """Mark for persistence at the configured storage level."""
+        self.cached = True
+        return self
+
+    def count(self, name="count") -> "Job":
+        return Job(self, action=name, result_mb=0.001)
+
+    def collect(self, name="collect", result_fraction=0.01) -> "Job":
+        return Job(self, action=name, result_mb=self.size_mb * result_fraction)
+
+    def save(self, name="saveAsTextFile") -> "Job":
+        # Output goes to external storage; only a tiny status result
+        # reaches the driver.
+        return Job(self, action=name, result_mb=0.001, writes_output=True)
+
+    # ------------------------------------------------------------------------
+    def lineage(self) -> list["RDD"]:
+        """All ancestors (including self), deduplicated, topological order."""
+        seen: dict[int, RDD] = {}
+
+        def visit(node: "RDD"):
+            if node.id in seen:
+                return
+            for p in node.parents:
+                visit(p)
+            seen[node.id] = node
+
+        visit(self)
+        return list(seen.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RDD#{self.id}({self.op.name}, {self.size_mb:.0f}MB)"
+
+
+@dataclass
+class Job:
+    """An action applied to an RDD — the unit the DAG scheduler compiles."""
+
+    target: RDD
+    action: str
+    result_mb: float = 0.0
+    writes_output: bool = False
+    #: extra driver-side cost of collecting results (s per MB)
+    collect_cost_s_per_mb: float = 0.02
+    #: RDDs to unpersist once this job completes (iterative workloads
+    #: release the previous iteration's cache)
+    unpersist_after: tuple = ()
+
+    def then_unpersist(self, *rdds: RDD) -> "Job":
+        self.unpersist_after = tuple(rdds)
+        return self

@@ -1,0 +1,189 @@
+"""The Spark application simulator.
+
+Executes a workload (a sequence of jobs over RDD lineages) on a virtual
+cluster under a given configuration and interference environment,
+producing an :class:`~repro.sparksim.metrics.ExecutionResult` with
+Spark-style per-stage metrics.
+
+The execution pipeline mirrors Fig. 2 of the paper: jobs are compiled to
+stage DAGs (:mod:`repro.sparksim.dag`), stages run in topological order,
+each stage's tasks are costed analytically
+(:mod:`repro.sparksim.costmodel`) and scheduled onto granted executor
+slots (:mod:`repro.sparksim.scheduler`).  Configurations that do not fit
+the cluster fail fast; tasks whose working set cannot even spill OOM and
+fail the application after retries — both produce the expensive crash
+behaviour Section IV of the paper describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cloud.cluster import Cluster
+from ..cloud.interference import QUIET, Environment
+from ..config.constraints import grant_resources
+from .costmodel import Calibration, compute_stage_cost
+from .dag import CacheRegistry, compile_job
+from .executor import ExecutorModel
+from .memory import plan_cache
+from .metrics import ExecutionResult, StageMetrics
+from .scheduler import schedule_stage
+
+__all__ = ["SparkSimulator"]
+
+#: wall-clock consumed before the cluster manager rejects an unsatisfiable
+#: resource request (container negotiation + timeout)
+_REJECT_S = 25.0
+
+#: failed task attempts before Spark aborts the stage and the application
+_MAX_ATTEMPTS = 4
+
+
+class SparkSimulator:
+    """Simulates Spark application executions.
+
+    Parameters
+    ----------
+    calibration:
+        Cost-model constants; override for ablation studies.
+    noise:
+        When ``False``, task durations are deterministic (useful for
+        model unit tests); benches keep it ``True``.
+    """
+
+    def __init__(self, calibration: Calibration | None = None, noise: bool = True):
+        self.calibration = calibration or Calibration()
+        self.noise = noise
+
+    def run(self, workload, input_mb: float, cluster: Cluster, config,
+            env: Environment = QUIET, seed: int = 0) -> ExecutionResult:
+        """Execute ``workload`` at ``input_mb`` scale and return metrics."""
+        jobs = workload.jobs(input_mb)
+        return self.run_jobs(workload.name, input_mb, jobs, cluster, config,
+                             env=env, seed=seed)
+
+    def run_jobs(self, name: str, input_mb: float, jobs, cluster: Cluster,
+                 config, env: Environment = QUIET, seed: int = 0) -> ExecutionResult:
+        calib = self.calibration
+        rng = np.random.default_rng(seed)
+        grant = grant_resources(config, cluster)
+        if grant.executors < 1:
+            return ExecutionResult(
+                workload=name, input_mb=input_mb, runtime_s=_REJECT_S,
+                success=False, executors_granted=0,
+                executors_requested=grant.requested_executors,
+                failure_reason="executor container does not fit any node",
+                environment_factor=env.combined(),
+            )
+
+        executor = ExecutorModel.from_config(config)
+        # spark.task.cpus reserves multiple cores per task: the number of
+        # concurrently running tasks is executors x (cores // task.cpus).
+        slots = max(1, grant.executors * executor.concurrent_tasks)
+        runtime = calib.app_startup_base_s + calib.app_startup_per_executor_s * grant.executors
+        registry = CacheRegistry()
+        stage_metrics: list[StageMetrics] = []
+        tasks_of_stage: dict[int, int] = {}
+        next_stage_id = 0
+
+        for job in jobs:
+            runtime += calib.job_submit_s
+            plan = compile_job(job, registry, first_stage_id=next_stage_id)
+            next_stage_id += plan.num_stages
+            for stage in plan.topological():
+                cache = plan_cache(
+                    registry.total_cached_mb, grant.executors, executor, config,
+                    recompute_cpu_s_per_mb=registry.mean_recompute_cpu_s_per_mb(),
+                    recompute_io_mb_per_mb=registry.mean_recompute_io_mb_per_mb(),
+                )
+                num_map_tasks = sum(
+                    tasks_of_stage.get(dep, 0) for dep in stage.depends_on
+                )
+                cost = compute_stage_cost(
+                    stage, config, cluster, grant, executor, cache, env,
+                    num_map_tasks=num_map_tasks, calib=calib,
+                )
+                tasks_of_stage[stage.stage_id] = cost.num_tasks
+
+                if cost.task.oom:
+                    # Retries then application abort.
+                    wasted = cost.task.total_s * _MAX_ATTEMPTS + cost.driver_s
+                    runtime += wasted
+                    stage_metrics.append(self._failed_stage(stage, cost, wasted))
+                    return ExecutionResult(
+                        workload=name, input_mb=input_mb, runtime_s=runtime,
+                        success=False, stages=stage_metrics,
+                        executors_granted=grant.executors,
+                        executors_requested=grant.requested_executors,
+                        total_slots=slots,
+                        failure_reason=(
+                            f"OOM in stage {stage.stage_id} ({stage.name}): "
+                            f"task working set {cost.task.spilled_mb + 0:.0f}MB+ "
+                            f"exceeds executor execution memory"
+                        ),
+                        environment_factor=env.combined(),
+                    )
+
+                schedule = schedule_stage(
+                    cost.num_tasks, cost.task.total_s, slots,
+                    config, rng, calib=calib, noise=self.noise,
+                )
+                elapsed = schedule.makespan_s + cost.driver_s
+                runtime += elapsed
+                n = cost.num_tasks
+                stage_metrics.append(
+                    StageMetrics(
+                        stage_id=stage.stage_id,
+                        name=stage.name,
+                        num_tasks=n,
+                        duration_s=elapsed,
+                        input_mb=cost.input_mb,
+                        cached_read_mb=cost.cached_read_mb,
+                        shuffle_read_mb=cost.shuffle_read_mb,
+                        shuffle_write_mb=cost.shuffle_write_mb,
+                        spill_mb=cost.spill_mb_total,
+                        cpu_time_s=cost.task.cpu_s * n,
+                        gc_time_s=cost.task.gc_s * n,
+                        io_time_s=cost.task.disk_s * n,
+                        net_time_s=cost.task.net_s * n,
+                        task_metrics=schedule.task_metrics,
+                        output_mb=stage.output_mb if stage.writes_output else 0.0,
+                        writes_output=stage.writes_output,
+                    )
+                )
+                for rdd_id, mb, record_bytes in stage.materializes:
+                    registry.materialize(
+                        rdd_id, mb, record_bytes,
+                        recompute_cpu_s_per_mb=stage.recompute_cpu_s_per_mb,
+                        recompute_io_mb_per_mb=stage.recompute_io_mb_per_mb,
+                    )
+            for rdd in job.unpersist_after:
+                registry.evict(rdd.id)
+
+        if self.noise:
+            runtime *= float(
+                rng.lognormal(
+                    mean=-0.5 * calib.run_noise_sigma**2,
+                    sigma=calib.run_noise_sigma,
+                )
+            )
+        return ExecutionResult(
+            workload=name, input_mb=input_mb, runtime_s=runtime, success=True,
+            stages=stage_metrics,
+            executors_granted=grant.executors,
+            executors_requested=grant.requested_executors,
+            total_slots=slots,
+            environment_factor=env.combined(),
+        )
+
+    @staticmethod
+    def _failed_stage(stage, cost, wasted: float) -> StageMetrics:
+        return StageMetrics(
+            stage_id=stage.stage_id, name=stage.name, num_tasks=cost.num_tasks,
+            duration_s=wasted, input_mb=cost.input_mb,
+            cached_read_mb=cost.cached_read_mb,
+            shuffle_read_mb=cost.shuffle_read_mb,
+            shuffle_write_mb=cost.shuffle_write_mb,
+            spill_mb=0.0, cpu_time_s=0.0, gc_time_s=0.0, io_time_s=0.0,
+            net_time_s=0.0, failed=True,
+        )

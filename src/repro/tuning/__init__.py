@@ -1,0 +1,52 @@
+"""Configuration tuners: every strategy the paper surveys, one interface."""
+
+from .aroma import AromaTuner, KernelRidgeRegressor, WorkloadCorpus
+from .base import Observation, SimulationObjective, Tuner, TuningResult, run_tuner
+from .bestconfig import BestConfigTuner
+from .bo import AdditiveGPTuner, BayesOptTuner, GaussianProcess
+from .ernest import ErnestModel, ErnestTuner
+from .genetic import DACTuner, GeneticTuner
+from .grid_search import GridSearchTuner
+from .hillclimb import DEFAULT_SPARK_RULES, HillClimbTuner, TuningRule
+from .latin import LatinHypercubeTuner
+from .multifidelity import FidelityRung, SuccessiveHalvingResult, successive_halving
+from .random_search import RandomSearchTuner
+from .rl import QLearningTuner
+from .trees import DecisionTreeRegressor, RandomForestRegressor, TreeTuner
+from .whatif import JobProfile, WhatIfEngine, WhatIfTuner, whatif_tune
+
+__all__ = [
+    "Tuner",
+    "Observation",
+    "TuningResult",
+    "run_tuner",
+    "SimulationObjective",
+    "RandomSearchTuner",
+    "GridSearchTuner",
+    "LatinHypercubeTuner",
+    "HillClimbTuner",
+    "TuningRule",
+    "DEFAULT_SPARK_RULES",
+    "BayesOptTuner",
+    "AdditiveGPTuner",
+    "GaussianProcess",
+    "GeneticTuner",
+    "DACTuner",
+    "TreeTuner",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "BestConfigTuner",
+    "QLearningTuner",
+    "ErnestModel",
+    "ErnestTuner",
+    "JobProfile",
+    "WhatIfEngine",
+    "WhatIfTuner",
+    "whatif_tune",
+    "AromaTuner",
+    "WorkloadCorpus",
+    "KernelRidgeRegressor",
+    "successive_halving",
+    "SuccessiveHalvingResult",
+    "FidelityRung",
+]

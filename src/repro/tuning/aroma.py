@@ -1,0 +1,155 @@
+"""AROMA (Lama & Zhou, ICAC'12): signature clustering + SVR-style models.
+
+AROMA clusters previously executed jobs by resource signature with
+k-medoids and trains one performance model per cluster (they used
+support-vector regression); a new job is profiled once, assigned to a
+cluster, and tuned using that cluster's model.  We implement the same
+two-phase design with an RBF kernel-ridge regressor (the closed-form
+cousin of SVR) and the project's k-medoids.
+
+This is the direct ancestor of the paper's challenge V.B machinery: the
+difference is that AROMA reuses a *model* per cluster while
+:mod:`repro.core.transfer` warm-starts a fresh model per workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config.encoding import OneHotEncoder
+from ..config.space import Configuration, ConfigurationSpace
+from ..core.similarity import KMedoids
+from .base import Tuner
+
+__all__ = ["KernelRidgeRegressor", "WorkloadCorpus", "AromaTuner"]
+
+
+class KernelRidgeRegressor:
+    """RBF kernel ridge regression (closed form) — the SVR stand-in."""
+
+    def __init__(self, lengthscale: float = 0.5, alpha: float = 1e-2):
+        if lengthscale <= 0 or alpha <= 0:
+            raise ValueError("lengthscale and alpha must be positive")
+        self.lengthscale = lengthscale
+        self.alpha = alpha
+        self._X: np.ndarray | None = None
+        self._coef: np.ndarray | None = None
+        self._y_mean = 0.0
+
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        aa = np.sum(a**2, axis=1)[:, None]
+        bb = np.sum(b**2, axis=1)[None, :]
+        sq = np.maximum(0.0, aa + bb - 2 * a @ b.T)
+        return np.exp(-0.5 * sq / self.lengthscale**2)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KernelRidgeRegressor":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if len(X) != len(y) or len(y) == 0:
+            raise ValueError("X and y must be non-empty with matching lengths")
+        self._y_mean = float(y.mean())
+        K = self._kernel(X, X)
+        K[np.diag_indices_from(K)] += self.alpha
+        self._coef = np.linalg.solve(K, y - self._y_mean)
+        self._X = X
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None:
+            raise ValueError("model is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return self._kernel(X, self._X) @ self._coef + self._y_mean
+
+
+@dataclass
+class WorkloadCorpus:
+    """Executed-job corpus: signatures plus per-job configuration history."""
+
+    signatures: list[np.ndarray] = field(default_factory=list)
+    histories: list[list[tuple[Configuration, float]]] = field(default_factory=list)
+
+    def add(self, signature: np.ndarray,
+            history: list[tuple[Configuration, float]]) -> None:
+        self.signatures.append(np.asarray(signature, dtype=float))
+        self.histories.append(list(history))
+
+    def __len__(self) -> int:
+        return len(self.signatures)
+
+    def cluster(self, k: int, seed: int = 0) -> tuple[KMedoids, np.ndarray]:
+        """K-medoids over signatures; returns the model and labels."""
+        if len(self) < k:
+            raise ValueError(f"corpus has {len(self)} jobs; need >= k={k}")
+        X = np.vstack(self.signatures)
+        km = KMedoids(k=k, seed=seed).fit(X)
+        return km, km.labels_
+
+    def history_for_cluster(self, labels: np.ndarray, cluster_id: int):
+        out = []
+        for label, history in zip(labels, self.histories):
+            if label == cluster_id:
+                out.extend(history)
+        return out
+
+
+class AromaTuner(Tuner):
+    """Two-phase AROMA tuning.
+
+    Phase 1 (offline, at construction): cluster the corpus, train one
+    kernel-ridge model per cluster.  Phase 2 (online): assign the target
+    job's signature to a cluster, then alternate between exploiting the
+    cluster model and refining it with the target's own observations.
+    """
+
+    def __init__(self, space: ConfigurationSpace, corpus: WorkloadCorpus,
+                 target_signature: np.ndarray, k: int = 2, seed: int = 0,
+                 n_candidates: int = 500, explore_every: int = 4,
+                 log_costs: bool = True):
+        super().__init__(space, seed)
+        if len(corpus) == 0:
+            raise ValueError("AROMA needs a non-empty corpus")
+        self.encoder = OneHotEncoder(space)
+        self.log_costs = log_costs
+        self.n_candidates = n_candidates
+        self.explore_every = explore_every
+
+        k = min(k, len(corpus))
+        km, labels = corpus.cluster(k, seed=seed)
+        medoid_points = np.vstack(corpus.signatures)[km.medoid_indices_]
+        assigned = int(km.predict(
+            np.asarray(target_signature, dtype=float)[None, :], medoid_points
+        )[0])
+        self.assigned_cluster = assigned
+        self._transferred = corpus.history_for_cluster(labels, assigned)
+        self._model: KernelRidgeRegressor | None = None
+
+    def _fit(self) -> KernelRidgeRegressor:
+        pairs = self._transferred + [(o.config, o.cost) for o in self.history]
+        X = self.encoder.encode_many([c for c, _ in pairs])
+        y = np.array([cost for _, cost in pairs])
+        if self.log_costs:
+            y = np.log(np.maximum(y, 1e-9))
+        model = KernelRidgeRegressor(lengthscale=0.8, alpha=5e-2)
+        model.fit(X, y)
+        self._model = model
+        return model
+
+    def suggest(self) -> Configuration:
+        n = len(self.history)
+        if self.explore_every and n % self.explore_every == self.explore_every - 1:
+            return self.space.sample_configuration(self.rng)
+        model = self._fit()
+        seen = {o.config for o in self.history}
+        candidates = [
+            c for c in self.space.sample_configurations(self.n_candidates, self.rng)
+            if c not in seen
+        ]
+        X = self.encoder.encode_many(candidates)
+        predictions = model.predict(X)
+        return candidates[int(np.argmin(predictions))]
+
+    @property
+    def transferred_observations(self) -> int:
+        return len(self._transferred)

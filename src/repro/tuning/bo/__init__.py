@@ -1,0 +1,20 @@
+"""Bayesian optimization: GP regression, kernels, acquisitions, tuners."""
+
+from .acquisition import expected_improvement, lower_confidence_bound, probability_of_improvement
+from .additive_gp import AdditiveGPTuner
+from .bayesopt import BayesOptTuner
+from .gp import GaussianProcess
+from .kernels import AdditiveKernel, Kernel, Matern52, RBF
+
+__all__ = [
+    "GaussianProcess",
+    "Kernel",
+    "RBF",
+    "Matern52",
+    "AdditiveKernel",
+    "expected_improvement",
+    "probability_of_improvement",
+    "lower_confidence_bound",
+    "BayesOptTuner",
+    "AdditiveGPTuner",
+]

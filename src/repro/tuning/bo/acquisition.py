@@ -1,0 +1,36 @@
+"""Acquisition functions for Bayesian optimization (minimization form)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["expected_improvement", "probability_of_improvement", "lower_confidence_bound"]
+
+
+def expected_improvement(mean: np.ndarray, std: np.ndarray, best: float,
+                         xi: float = 0.0) -> np.ndarray:
+    """EI for minimization: E[max(best - f - xi, 0)].
+
+    CherryPick's acquisition; its stopping rule fires when the maximum EI
+    falls below 10% of the incumbent.
+    """
+    std = np.maximum(np.asarray(std, dtype=float), 1e-12)
+    improvement = best - np.asarray(mean, dtype=float) - xi
+    z = improvement / std
+    return improvement * stats.norm.cdf(z) + std * stats.norm.pdf(z)
+
+
+def probability_of_improvement(mean: np.ndarray, std: np.ndarray, best: float,
+                               xi: float = 0.0) -> np.ndarray:
+    std = np.maximum(np.asarray(std, dtype=float), 1e-12)
+    z = (best - np.asarray(mean, dtype=float) - xi) / std
+    return stats.norm.cdf(z)
+
+
+def lower_confidence_bound(mean: np.ndarray, std: np.ndarray,
+                           kappa: float = 2.0) -> np.ndarray:
+    """LCB (to be *minimized*): mean - kappa * std."""
+    if kappa < 0:
+        raise ValueError("kappa must be non-negative")
+    return np.asarray(mean, dtype=float) - kappa * np.asarray(std, dtype=float)

@@ -1,0 +1,69 @@
+"""Additive-GP tuner — interpretable Bayesian optimization (challenge V.A).
+
+Duvenaud et al.'s additive Gaussian processes decompose the model into a
+sum of low-dimensional functions; the paper's Section V.A proposes them
+as a way to *extract* tuning knowledge (which parameters matter, and
+how) from an otherwise black-box GP.  :meth:`parameter_importances` and
+:meth:`effect_curve` expose exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...config.space import Configuration, ConfigurationSpace
+from .bayesopt import BayesOptTuner
+from .kernels import AdditiveKernel
+
+__all__ = ["AdditiveGPTuner"]
+
+
+class AdditiveGPTuner(BayesOptTuner):
+    """Bayesian optimization whose surrogate is a first-order additive GP."""
+
+    def __init__(self, space: ConfigurationSpace, seed: int = 0, n_init: int = 8,
+                 groups: list[list[str]] | None = None, **kwargs):
+        index = {name: i for i, name in enumerate(space.names)}
+        if groups is not None:
+            idx_groups = [[index[name] for name in g] for g in groups]
+        else:
+            idx_groups = None
+        kernel = AdditiveKernel(space.dimension, groups=idx_groups)
+        super().__init__(space, seed=seed, n_init=n_init, kernel=kernel, **kwargs)
+        self._additive_kernel = kernel
+
+    def parameter_importances(self) -> dict[str, float]:
+        """Normalized per-group signal variance — which knobs drive runtime.
+
+        Requires a fitted model (at least ``n_init`` observations).
+        """
+        self._refit()
+        variances = self._additive_kernel.group_variances(self._gp.theta[:-1])
+        total = float(variances.sum()) or 1.0
+        names = self.space.names
+        out = {}
+        for gi, group in enumerate(self._additive_kernel.groups):
+            label = "+".join(names[i] for i in group)
+            out[label] = float(variances[gi]) / total
+        return out
+
+    def effect_curve(self, parameter: str, resolution: int = 25,
+                     base: Configuration | None = None) -> tuple[list, np.ndarray]:
+        """Predicted cost while sweeping one parameter, others at ``base``.
+
+        Returns ``(values, predicted_costs)`` — the 1-D slice the additive
+        decomposition makes meaningful.
+        """
+        if parameter not in self.space:
+            raise KeyError(parameter)
+        self._refit()
+        base = base or (self.best.config if self.best else self.space.default_configuration())
+        param = self.space[parameter]
+        values = param.grid(resolution)
+        X = np.array([
+            self.space.encode(base.replace(**{parameter: v})) for v in values
+        ])
+        mean, _ = self._gp.predict(X)
+        if self.log_costs:
+            mean = np.exp(mean)
+        return values, mean

@@ -1,0 +1,129 @@
+"""Bayesian-optimization tuner — the CherryPick strategy.
+
+CherryPick (Alipourfard et al., NSDI'17) finds near-optimal cloud
+configurations with a GP performance model, EI acquisition, and a
+stop-when-EI-small rule, needing an order of magnitude fewer executions
+than search-based approaches.  This tuner implements the same loop over
+any :class:`~repro.config.space.ConfigurationSpace` (cloud, DISC, or
+joint), with costs modelled in log space (runtimes are positive and
+heavy-tailed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...config.space import Configuration, ConfigurationSpace
+from ..base import Tuner
+from .acquisition import expected_improvement, lower_confidence_bound
+from .gp import GaussianProcess
+from .kernels import Kernel, Matern52
+
+__all__ = ["BayesOptTuner"]
+
+
+class BayesOptTuner(Tuner):
+    """GP + EI Bayesian optimization.
+
+    Parameters
+    ----------
+    n_init:
+        Latin-hypercube warm-up evaluations before the model kicks in.
+    acquisition:
+        ``"ei"`` (default, CherryPick) or ``"lcb"``.
+    log_costs:
+        Model ``log(cost)`` instead of cost; robust to the orders-of-
+        magnitude spread misconfigurations produce.
+    warm_start:
+        Optional list of ``(config, cost)`` pairs injected into the model
+        before any suggestion — the transfer-learning hook used by the
+        provider-side service (paper challenge V.B).
+    """
+
+    def __init__(self, space: ConfigurationSpace, seed: int = 0,
+                 n_init: int = 8, acquisition: str = "ei",
+                 kernel: Kernel | None = None,
+                 n_candidates: int = 512, log_costs: bool = True,
+                 refit_every: int = 1,
+                 warm_start: list[tuple[Configuration, float]] | None = None):
+        super().__init__(space, seed)
+        if acquisition not in ("ei", "lcb"):
+            raise ValueError("acquisition must be 'ei' or 'lcb'")
+        if n_init < 2:
+            raise ValueError("n_init must be >= 2")
+        self.n_init = n_init
+        self.acquisition = acquisition
+        self.n_candidates = n_candidates
+        self.log_costs = log_costs
+        self.refit_every = max(1, refit_every)
+        self._init_points = space.latin_hypercube(n_init, self.rng)
+        self._gp = GaussianProcess(kernel=kernel or Matern52(), seed=seed)
+        self._fitted_at = 0
+        self._warm: list[tuple[Configuration, float]] = list(warm_start or [])
+        self.last_max_ei: float | None = None
+
+    # --- data assembly -----------------------------------------------------
+    def _training_data(self):
+        pairs = self._warm + [(o.config, o.cost) for o in self.history]
+        X = np.array([self.space.encode(c) for c, _ in pairs])
+        y = np.array([cost for _, cost in pairs], dtype=float)
+        if self.log_costs:
+            y = np.log(np.maximum(y, 1e-9))
+        return X, y
+
+    def _refit(self) -> None:
+        X, y = self._training_data()
+        optimize = (len(y) - self._fitted_at) >= self.refit_every or self._fitted_at == 0
+        self._gp.fit(X, y, optimize_hyperparams=optimize)
+        if optimize:
+            self._fitted_at = len(y)
+
+    def _candidates(self) -> np.ndarray:
+        cands = [self.rng.random((self.n_candidates, self.space.dimension))]
+        best = self.best
+        if best is not None:
+            # Local refinement around the incumbent.
+            center = self.space.encode(best.config)
+            local = center + self.rng.normal(0.0, 0.08, (self.n_candidates // 2, self.space.dimension))
+            cands.append(np.clip(local, 0.0, 1.0))
+        return np.vstack(cands)
+
+    # --- Tuner interface -----------------------------------------------------
+    def suggest(self) -> Configuration:
+        n_observed = len(self.history) + len(self._warm)
+        if len(self.history) < len(self._init_points) and n_observed < max(
+            self.n_init, 3
+        ):
+            return self._init_points[len(self.history)]
+        self._refit()
+        X = self._candidates()
+        mean, std = self._gp.predict(X)
+        if self.acquisition == "ei":
+            _, y = self._training_data()
+            score = expected_improvement(mean, std, best=float(y.min()))
+            self.last_max_ei = float(score.max())
+            idx = int(np.argmax(score))
+        else:
+            score = lower_confidence_bound(mean, std)
+            idx = int(np.argmin(score))
+        return self.space.decode(X[idx])
+
+    def should_stop(self, ei_fraction: float = 0.1) -> bool:
+        """CherryPick's stopping rule: max EI below a fraction of the incumbent.
+
+        Only meaningful once the model is active (after the initial design).
+        """
+        if self.last_max_ei is None or self.best is None:
+            return False
+        incumbent = (
+            np.log(max(self.best.cost, 1e-9)) if self.log_costs else self.best.cost
+        )
+        return self.last_max_ei < ei_fraction * abs(incumbent)
+
+    def surrogate_prediction(self, config: Configuration) -> tuple[float, float]:
+        """Model's (mean, std) prediction for one configuration (cost scale)."""
+        self._refit()
+        mean, std = self._gp.predict(self.space.encode(config)[None, :])
+        if self.log_costs:
+            return float(np.exp(mean[0])), float(np.exp(mean[0]) * std[0])
+        return float(mean[0]), float(std[0])

@@ -1,0 +1,140 @@
+"""Ernest (Venkataraman et al., NSDI'16): parametric performance modelling.
+
+Ernest predicts large-scale runtimes of machine-learning jobs from a few
+cheap training runs by fitting the structural model::
+
+    runtime = a + b * (data / machines) + c * log2(machines) + d * machines
+
+with non-negative least squares.  It excels for iterative compute-bound
+jobs and adapts poorly elsewhere — the "poor adaptivity" limitation the
+paper (and CherryPick) call out, which the E2 bench quantifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from ..config.space import CategoricalParameter, Configuration, ConfigurationSpace
+from .base import Tuner
+
+__all__ = ["ErnestModel", "ErnestTuner"]
+
+
+class ErnestModel:
+    """The NNLS-fitted scaling model for one workload + instance type."""
+
+    def __init__(self):
+        self._coef: np.ndarray | None = None
+
+    @staticmethod
+    def _features(machines: np.ndarray, data_mb: np.ndarray) -> np.ndarray:
+        machines = np.asarray(machines, dtype=float)
+        data_mb = np.asarray(data_mb, dtype=float)
+        return np.column_stack([
+            np.ones_like(machines),
+            data_mb / machines,
+            np.log2(np.maximum(machines, 1.0)),
+            machines,
+        ])
+
+    def fit(self, machines, data_mb, runtimes) -> "ErnestModel":
+        runtimes = np.asarray(runtimes, dtype=float)
+        X = self._features(machines, data_mb)
+        if len(X) < 2:
+            raise ValueError("need at least two training samples")
+        coef, _ = optimize.nnls(X, runtimes)
+        self._coef = coef
+        return self
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        if self._coef is None:
+            raise ValueError("model is not fitted")
+        return self._coef
+
+    def predict(self, machines, data_mb) -> np.ndarray:
+        if self._coef is None:
+            raise ValueError("model is not fitted")
+        return self._features(np.atleast_1d(machines), np.atleast_1d(data_mb)) @ self._coef
+
+
+class ErnestTuner(Tuner):
+    """Cloud-configuration tuner built on per-instance-type Ernest models.
+
+    Works over a cloud space (``cloud.instance_type`` x
+    ``cloud.cluster_size``).  Phase 1 runs a fixed experiment design —
+    for a few instance types, a sweep of cluster sizes.  Phase 2 fits one
+    scaling model per instance type and exploits the predicted optimum
+    (with occasional re-exploration to correct the model).
+    """
+
+    def __init__(self, space: ConfigurationSpace, input_mb: float, seed: int = 0,
+                 n_instance_types: int = 4, sizes_per_type: int = 3):
+        super().__init__(space, seed)
+        if "cloud.instance_type" not in space or "cloud.cluster_size" not in space:
+            raise ValueError(
+                "ErnestTuner needs a cloud space with cloud.instance_type "
+                "and cloud.cluster_size (it models cluster scaling, not "
+                "DISC internals)"
+            )
+        self.input_mb = input_mb
+        type_param = space["cloud.instance_type"]
+        if not isinstance(type_param, CategoricalParameter):
+            raise ValueError("cloud.instance_type must be categorical")
+        choices = list(type_param.choices)
+        self.rng.shuffle(choices)
+        self._train_types = choices[: max(1, n_instance_types)]
+        size_param = space["cloud.cluster_size"]
+        sizes = sorted({
+            size_param.from_unit(u)
+            for u in np.linspace(0.0, 1.0, max(2, sizes_per_type))
+        })
+        self._plan = [
+            Configuration({"cloud.instance_type": t, "cloud.cluster_size": s})
+            for t in self._train_types for s in sizes
+        ]
+        self._models: dict[str, ErnestModel] = {}
+
+    def _fit_models(self) -> None:
+        by_type: dict[str, list] = {}
+        for obs in self.history:
+            by_type.setdefault(obs.config["cloud.instance_type"], []).append(obs)
+        self._models = {}
+        for itype, observations in by_type.items():
+            if len(observations) < 2:
+                continue
+            machines = [o.config["cloud.cluster_size"] for o in observations]
+            runtimes = [o.cost for o in observations]
+            model = ErnestModel()
+            model.fit(machines, [self.input_mb] * len(machines), runtimes)
+            self._models[itype] = model
+
+    def predicted_best(self) -> Configuration:
+        """Grid-argmin over fitted models."""
+        self._fit_models()
+        if not self._models:
+            raise ValueError("no fitted models yet")
+        size_param = self.space["cloud.cluster_size"]
+        sizes = np.array(size_param.grid(12))
+        best_cfg, best_pred = None, np.inf
+        for itype, model in self._models.items():
+            preds = model.predict(sizes, np.full(len(sizes), self.input_mb))
+            i = int(np.argmin(preds))
+            if preds[i] < best_pred:
+                best_pred = float(preds[i])
+                best_cfg = Configuration({
+                    "cloud.instance_type": itype,
+                    "cloud.cluster_size": int(sizes[i]),
+                })
+        return best_cfg
+
+    def suggest(self) -> Configuration:
+        if len(self.history) < len(self._plan):
+            return self._plan[len(self.history)]
+        if self.rng.random() < 0.2:
+            return self.space.sample_configuration(self.rng)
+        candidate = self.predicted_best()
+        if any(o.config == candidate for o in self.history):
+            return self.space.neighbor(candidate, self.rng, scale=0.1)
+        return candidate

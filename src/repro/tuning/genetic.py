@@ -1,0 +1,149 @@
+"""Genetic-algorithm tuners — direct GA and DAC (Yu et al., ASPLOS'18).
+
+DAC tunes 41 Spark parameters datasize-aware: it builds a hierarchical
+regression-tree model of execution time as a function of configuration
+(and input size), then runs a genetic algorithm *on the model* to find
+good configurations cheaply.  :class:`GeneticTuner` is the direct
+(evaluate-every-individual) GA; :class:`DACTuner` is the model-assisted
+variant that spends real executions only on GA winners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config.encoding import OneHotEncoder
+from ..config.space import Configuration, ConfigurationSpace
+from .base import Tuner
+from .trees.random_forest import RandomForestRegressor
+
+__all__ = ["GeneticTuner", "DACTuner"]
+
+
+class GeneticTuner(Tuner):
+    """Steady-generation GA over configurations.
+
+    Individuals are configurations; crossover is per-parameter uniform;
+    mutation resamples a parameter or perturbs it locally.
+    """
+
+    def __init__(self, space: ConfigurationSpace, seed: int = 0,
+                 population_size: int = 16, elite: int = 2,
+                 tournament: int = 3, mutation_rate: float = 0.15):
+        super().__init__(space, seed)
+        if population_size < 4:
+            raise ValueError("population_size must be >= 4")
+        if not 0 <= mutation_rate <= 1:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        if elite >= population_size:
+            raise ValueError("elite must be < population_size")
+        self.population_size = population_size
+        self.elite = elite
+        self.tournament = tournament
+        self.mutation_rate = mutation_rate
+        self._population = space.latin_hypercube(population_size, self.rng)
+        self._fitness: list[float] = []
+        self._cursor = 0
+
+    def _select(self) -> Configuration:
+        """Tournament selection over the evaluated generation."""
+        idx = self.rng.integers(0, len(self._fitness), size=self.tournament)
+        winner = min(idx, key=lambda i: self._fitness[i])
+        return self._population[winner]
+
+    def _crossover(self, a: Configuration, b: Configuration) -> Configuration:
+        values = {}
+        for name in self.space.names:
+            values[name] = a[name] if self.rng.random() < 0.5 else b[name]
+        return Configuration(values)
+
+    def _mutate(self, config: Configuration) -> Configuration:
+        updates = {}
+        for p in self.space.parameters:
+            if self.rng.random() < self.mutation_rate:
+                if self.rng.random() < 0.5:
+                    updates[p.name] = p.sample(self.rng)
+                else:
+                    updates[p.name] = p.neighbor(config[p.name], self.rng, scale=0.2)
+        return config.replace(**updates) if updates else config
+
+    def _next_generation(self) -> None:
+        order = np.argsort(self._fitness)
+        elites = [self._population[i] for i in order[: self.elite]]
+        children = list(elites)
+        while len(children) < self.population_size:
+            child = self._mutate(self._crossover(self._select(), self._select()))
+            children.append(child)
+        self._population = children
+        self._fitness = []
+        self._cursor = 0
+
+    def suggest(self) -> Configuration:
+        if self._cursor >= len(self._population):
+            self._next_generation()
+        return self._population[self._cursor]
+
+    def observe(self, config: Configuration, cost: float) -> None:
+        super().observe(config, cost)
+        self._fitness.append(float(cost))
+        self._cursor += 1
+
+
+class DACTuner(Tuner):
+    """Datasize-aware model-assisted GA.
+
+    After a space-filling warm-up, each real execution goes to the winner
+    of a GA run against a random-forest performance model (DAC's
+    hierarchical-modelling + GA search, collapsed onto one input size;
+    the datasize-aware variant feeds multi-size history through
+    ``warm_start``).
+    """
+
+    def __init__(self, space: ConfigurationSpace, seed: int = 0,
+                 n_init: int = 10, ga_population: int = 40,
+                 ga_generations: int = 12, n_trees: int = 25,
+                 log_costs: bool = True,
+                 warm_start: list[tuple[Configuration, float]] | None = None):
+        super().__init__(space, seed)
+        if n_init < 2:
+            raise ValueError("n_init must be >= 2")
+        self.n_init = n_init
+        self.ga_population = ga_population
+        self.ga_generations = ga_generations
+        self.n_trees = n_trees
+        self.log_costs = log_costs
+        self.encoder = OneHotEncoder(space)
+        self._init_points = space.latin_hypercube(n_init, self.rng)
+        self._warm = list(warm_start or [])
+
+    def _fit_model(self) -> RandomForestRegressor:
+        pairs = self._warm + [(o.config, o.cost) for o in self.history]
+        X = self.encoder.encode_many([c for c, _ in pairs])
+        y = np.array([cost for _, cost in pairs])
+        if self.log_costs:
+            y = np.log(np.maximum(y, 1e-9))
+        model = RandomForestRegressor(n_trees=self.n_trees,
+                                      seed=int(self.rng.integers(2**31)))
+        model.fit(X, y)
+        return model
+
+    def _ga_on_model(self, model: RandomForestRegressor) -> Configuration:
+        ga = GeneticTuner(
+            self.space, seed=int(self.rng.integers(2**31)),
+            population_size=self.ga_population,
+        )
+        for _ in range(self.ga_generations * self.ga_population):
+            config = ga.suggest()
+            pred = model.predict(self.encoder.encode(config)[None, :])
+            ga.observe(config, float(pred[0]))
+        return ga.best.config
+
+    def suggest(self) -> Configuration:
+        if len(self.history) < len(self._init_points):
+            return self._init_points[len(self.history)]
+        model = self._fit_model()
+        winner = self._ga_on_model(model)
+        if any(o.config == winner for o in self.history):
+            # Model converged on an already-run point: explore around it.
+            winner = self.space.neighbor(winner, self.rng, scale=0.1, n_moves=2)
+        return winner

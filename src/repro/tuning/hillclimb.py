@@ -1,0 +1,129 @@
+"""Hill climbing with tuning rules — MROnline (Li et al., HPDC'14).
+
+MROnline tunes Hadoop parameters with a *modified* hill climbing that
+(i) walks one parameter at a time with per-parameter step sizes, and
+(ii) limits the search space with predefined tuning rules.  We implement
+both: the climber proposes single-dimension moves of decaying step size,
+and an optional rule set pins or bounds parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.space import Configuration, ConfigurationSpace
+from .base import Tuner
+
+__all__ = ["TuningRule", "HillClimbTuner", "DEFAULT_SPARK_RULES"]
+
+
+@dataclass(frozen=True)
+class TuningRule:
+    """Clamp one parameter's unit-interval search range (domain knowledge)."""
+
+    parameter: str
+    low: float = 0.0
+    high: float = 1.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.low < self.high <= 1.0:
+            raise ValueError("rule range must satisfy 0 <= low < high <= 1")
+
+
+#: rules an expert would encode for Spark (never starve executors of
+#: memory; keep parallelism at least moderate)
+DEFAULT_SPARK_RULES = (
+    TuningRule("spark.executor.memory", low=0.25),
+    TuningRule("spark.default.parallelism", low=0.2),
+    TuningRule("spark.memory.fraction", low=0.2, high=0.9),
+)
+
+
+class HillClimbTuner(Tuner):
+    """Greedy single-dimension climber with decaying steps and restarts."""
+
+    def __init__(self, space: ConfigurationSpace, seed: int = 0,
+                 rules: tuple[TuningRule, ...] = (),
+                 initial_step: float = 0.25, decay: float = 0.7,
+                 min_step: float = 0.02,
+                 start: Configuration | None = None):
+        super().__init__(space, seed)
+        if not 0 < decay < 1:
+            raise ValueError("decay must be in (0, 1)")
+        self.rules = {r.parameter: r for r in rules}
+        unknown = set(self.rules) - set(space.names)
+        if unknown:
+            raise ValueError(f"rules reference unknown parameters: {sorted(unknown)}")
+        self.initial_step = initial_step
+        self.decay = decay
+        self.min_step = min_step
+        self._current = start or space.default_configuration()
+        self._current_cost: float | None = None
+        self._pending: Configuration | None = None
+        self._dim = 0
+        self._direction = 1.0
+        self._step = initial_step
+        self._tried_since_improvement = 0
+
+    def _clamp(self, name: str, u: float) -> float:
+        rule = self.rules.get(name)
+        if rule is None:
+            return min(1.0, max(0.0, u))
+        return min(rule.high, max(rule.low, u))
+
+    def _propose_move(self) -> Configuration:
+        names = self.space.names
+        name = names[self._dim % len(names)]
+        param = self.space[name]
+        u = param.to_unit(self._current[name])
+        u2 = self._clamp(name, u + self._direction * self._step)
+        return self._current.replace(**{name: param.from_unit(u2)})
+
+    def suggest(self) -> Configuration:
+        if self._current_cost is None:
+            self._pending = self._current
+            return self._current
+        proposal = self._propose_move()
+        attempts = 0
+        # Skip no-op moves (rounding can leave discrete params unchanged).
+        while proposal == self._current and attempts < 2 * self.space.dimension:
+            self._advance_cursor(improved=False)
+            proposal = self._propose_move()
+            attempts += 1
+        if proposal == self._current:
+            proposal = self.space.neighbor(self._current, self.rng, scale=self._step)
+        self._pending = proposal
+        return proposal
+
+    def observe(self, config: Configuration, cost: float) -> None:
+        super().observe(config, cost)
+        if self._current_cost is None or (
+            config != self._current and cost < self._current_cost
+        ):
+            improved = self._current_cost is not None
+            self._current = config
+            self._current_cost = cost
+            if improved:
+                self._tried_since_improvement = 0
+                return
+        else:
+            self._advance_cursor(improved=False)
+
+    def _advance_cursor(self, improved: bool) -> None:
+        if improved:
+            return
+        # Try the other direction first, then the next dimension.
+        if self._direction > 0:
+            self._direction = -1.0
+        else:
+            self._direction = 1.0
+            self._dim += 1
+        self._tried_since_improvement += 1
+        if self._tried_since_improvement >= 2 * self.space.dimension:
+            # Full sweep without improvement: shrink step or restart.
+            self._tried_since_improvement = 0
+            self._step *= self.decay
+            if self._step < self.min_step:
+                self._step = self.initial_step
+                self._current = self.space.sample_configuration(self.rng)
+                self._current_cost = None

@@ -1,0 +1,28 @@
+"""Latin-hypercube sampling tuner — stratified space-filling batches.
+
+The initial-design strategy CherryPick and BestConfig both rely on: LHS
+guarantees each parameter's range is evenly covered even in few samples.
+"""
+
+from __future__ import annotations
+
+from ..config.space import Configuration, ConfigurationSpace
+from .base import Tuner
+
+__all__ = ["LatinHypercubeTuner"]
+
+
+class LatinHypercubeTuner(Tuner):
+    """Draws stratified batches of ``batch_size`` configurations."""
+
+    def __init__(self, space: ConfigurationSpace, batch_size: int = 16, seed: int = 0):
+        super().__init__(space, seed)
+        if batch_size < 2:
+            raise ValueError("batch_size must be >= 2")
+        self.batch_size = batch_size
+        self._pending: list[Configuration] = []
+
+    def suggest(self) -> Configuration:
+        if not self._pending:
+            self._pending = self.space.latin_hypercube(self.batch_size, self.rng)
+        return self._pending.pop()

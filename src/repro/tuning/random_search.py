@@ -1,0 +1,25 @@
+"""Uniform random search — the baseline the paper's Table I experiment used
+("we ran the workload using 100 random configurations to find the best
+configuration")."""
+
+from __future__ import annotations
+
+from ..config.space import Configuration, ConfigurationSpace
+from .base import Tuner
+
+__all__ = ["RandomSearchTuner"]
+
+
+class RandomSearchTuner(Tuner):
+    """Independent uniform samples from the space."""
+
+    def __init__(self, space: ConfigurationSpace, seed: int = 0,
+                 include_default: bool = True):
+        super().__init__(space, seed)
+        self._first = include_default
+
+    def suggest(self) -> Configuration:
+        if self._first:
+            self._first = False
+            return self.space.default_configuration()
+        return self.space.sample_configuration(self.rng)

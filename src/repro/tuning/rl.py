@@ -1,0 +1,104 @@
+"""Reinforcement-learning tuner — Bu et al. (ICDCS'09).
+
+Bu et al. auto-configure web systems online with Q-learning: the state
+is a coarse performance bucket, actions increase/decrease one parameter
+by a step, and the reward is the relative performance change.  They
+tuned 8 parameters in ~25 executions — the approach the paper notes
+"fits systems with a limited number of configuration parameters".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config.space import Configuration, ConfigurationSpace
+from .base import Tuner
+
+__all__ = ["QLearningTuner"]
+
+
+@dataclass(frozen=True)
+class _Action:
+    parameter: str
+    direction: int  # +1 / -1
+
+
+class QLearningTuner(Tuner):
+    """Tabular Q-learning over (performance-bucket, parameter-step) pairs."""
+
+    def __init__(self, space: ConfigurationSpace, seed: int = 0,
+                 step: float = 0.15, n_buckets: int = 5,
+                 epsilon: float = 0.25, alpha: float = 0.4, gamma: float = 0.8,
+                 start: Configuration | None = None):
+        super().__init__(space, seed)
+        if not 0 <= epsilon <= 1:
+            raise ValueError("epsilon must be in [0, 1]")
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.step = step
+        self.n_buckets = n_buckets
+        self.epsilon = epsilon
+        self.alpha = alpha
+        self.gamma = gamma
+        self._actions = [
+            _Action(p.name, d) for p in space.parameters for d in (+1, -1)
+        ]
+        self._q = np.zeros((n_buckets, len(self._actions)))
+        self._current = start or space.default_configuration()
+        self._baseline_cost: float | None = None
+        self._last_cost: float | None = None
+        self._last_action: int | None = None
+        self._last_state: int | None = None
+        self._pending: Configuration | None = None
+
+    def _state(self, cost: float) -> int:
+        """Bucket by cost relative to the first (baseline) measurement."""
+        if self._baseline_cost is None:
+            return 0
+        ratio = cost / self._baseline_cost
+        edges = np.geomspace(0.25, 4.0, self.n_buckets - 1)
+        return int(np.searchsorted(edges, ratio))
+
+    def _apply(self, action: _Action, config: Configuration) -> Configuration:
+        param = self.space[action.parameter]
+        u = param.to_unit(config[action.parameter])
+        u2 = min(1.0, max(0.0, u + action.direction * self.step))
+        return config.replace(**{action.parameter: param.from_unit(u2)})
+
+    def suggest(self) -> Configuration:
+        if self._last_cost is None:
+            self._pending = self._current
+            return self._current
+        state = self._state(self._last_cost)
+        if self.rng.random() < self.epsilon:
+            idx = int(self.rng.integers(len(self._actions)))
+        else:
+            idx = int(np.argmax(self._q[state]))
+        self._last_state, self._last_action = state, idx
+        proposal = self._apply(self._actions[idx], self._current)
+        if proposal == self._current:
+            proposal = self.space.neighbor(self._current, self.rng, scale=self.step)
+            self._last_action = None
+        self._pending = proposal
+        return proposal
+
+    def observe(self, config: Configuration, cost: float) -> None:
+        super().observe(config, cost)
+        if self._baseline_cost is None:
+            self._baseline_cost = cost
+            self._last_cost = cost
+            return
+        reward = (self._last_cost - cost) / self._last_cost
+        if self._last_action is not None and self._last_state is not None:
+            next_state = self._state(cost)
+            td_target = reward + self.gamma * float(self._q[next_state].max())
+            q = self._q[self._last_state, self._last_action]
+            self._q[self._last_state, self._last_action] = q + self.alpha * (td_target - q)
+        # Greedy policy improvement on the actual configuration walk.
+        if cost <= self._last_cost:
+            self._current = config
+            self._last_cost = cost
+        else:
+            self._last_cost = cost if self.rng.random() < 0.3 else self._last_cost

@@ -1,0 +1,7 @@
+"""Tree-based surrogate models and tuners (PARIS, Wang et al.)."""
+
+from .decision_tree import DecisionTreeRegressor
+from .random_forest import RandomForestRegressor
+from .tree_tuner import TreeTuner
+
+__all__ = ["DecisionTreeRegressor", "RandomForestRegressor", "TreeTuner"]

@@ -1,0 +1,143 @@
+"""CART regression tree, from scratch on numpy.
+
+The building block for PARIS's random-forest performance model and Wang
+et al.'s regression-tree Spark tuner.  Splits minimize weighted child
+variance; prediction returns leaf means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DecisionTreeRegressor"]
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    value: float = 0.0
+    n_samples: int = 0
+    impurity_decrease: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTreeRegressor:
+    """Variance-reduction CART with depth/size regularization."""
+
+    def __init__(self, max_depth: int = 8, min_samples_split: int = 4,
+                 min_samples_leaf: int = 2, max_features: int | float | None = None,
+                 seed: int = 0):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_leaf < 1 or min_samples_split < 2:
+            raise ValueError("invalid min_samples settings")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = np.random.default_rng(seed)
+        self._root: _Node | None = None
+        self._n_features = 0
+        self.feature_importances_: np.ndarray | None = None
+
+    def _n_candidate_features(self) -> int:
+        if self.max_features is None:
+            return self._n_features
+        if isinstance(self.max_features, float):
+            return max(1, int(self.max_features * self._n_features))
+        return min(self._n_features, max(1, self.max_features))
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if len(X) != len(y) or len(y) == 0:
+            raise ValueError("X and y must be non-empty with matching lengths")
+        self._n_features = X.shape[1]
+        importances = np.zeros(self._n_features)
+        self._root = self._build(X, y, depth=0, importances=importances)
+        total = importances.sum()
+        self.feature_importances_ = importances / total if total > 0 else importances
+        return self
+
+    def _build(self, X, y, depth, importances) -> _Node:
+        node = _Node(value=float(y.mean()), n_samples=len(y))
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or np.ptp(y) < 1e-12
+        ):
+            return node
+        best = self._best_split(X, y)
+        if best is None:
+            return node
+        feature, threshold, gain = best
+        mask = X[:, feature] <= threshold
+        importances[feature] += gain * len(y)
+        node.feature, node.threshold, node.impurity_decrease = feature, threshold, gain
+        node.left = self._build(X[mask], y[mask], depth + 1, importances)
+        node.right = self._build(X[~mask], y[~mask], depth + 1, importances)
+        return node
+
+    def _best_split(self, X, y):
+        n = len(y)
+        parent_var = y.var()
+        if parent_var <= 0:
+            return None
+        features = np.arange(self._n_features)
+        k = self._n_candidate_features()
+        if k < self._n_features:
+            features = self.rng.choice(features, size=k, replace=False)
+        best_gain, best = 0.0, None
+        for f in features:
+            order = np.argsort(X[:, f], kind="stable")
+            xs, ys = X[order, f], y[order]
+            # Prefix sums for O(n) variance of every split point.
+            csum = np.cumsum(ys)
+            csq = np.cumsum(ys**2)
+            total, total_sq = csum[-1], csq[-1]
+            idx = np.arange(1, n)
+            valid = xs[1:] > xs[:-1]
+            nl = idx
+            nr = n - idx
+            valid &= (nl >= self.min_samples_leaf) & (nr >= self.min_samples_leaf)
+            if not valid.any():
+                continue
+            sl, sql = csum[:-1], csq[:-1]
+            var_l = sql / nl - (sl / nl) ** 2
+            var_r = (total_sq - sql) / nr - ((total - sl) / nr) ** 2
+            weighted = (nl * var_l + nr * var_r) / n
+            gain = parent_var - weighted
+            gain[~valid] = -np.inf
+            i = int(np.argmax(gain))
+            if gain[i] > best_gain + 1e-15:
+                best_gain = float(gain[i])
+                best = (int(f), float((xs[i] + xs[i + 1]) / 2.0), best_gain)
+        return best
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise ValueError("model is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return np.array([self._predict_one(row) for row in X])
+
+    def _predict_one(self, row: np.ndarray) -> float:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value
+
+    def depth(self) -> int:
+        def d(node):
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(d(node.left), d(node.right))
+
+        return d(self._root)

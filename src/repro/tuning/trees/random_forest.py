@@ -1,0 +1,64 @@
+"""Random-forest regressor — PARIS's performance model.
+
+Bootstrap-aggregated CART trees with per-split feature subsampling.
+PARIS (Yadwadkar et al., SoCC'17) uses exactly this to predict workload
+performance on unseen VM types from offline fingerprints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .decision_tree import DecisionTreeRegressor
+
+__all__ = ["RandomForestRegressor"]
+
+
+class RandomForestRegressor:
+    """Bagged regression trees with uncertainty from ensemble spread."""
+
+    def __init__(self, n_trees: int = 30, max_depth: int = 9,
+                 min_samples_leaf: int = 2, max_features: float = 0.6,
+                 seed: int = 0):
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = np.random.default_rng(seed)
+        self._trees: list[DecisionTreeRegressor] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if len(X) != len(y) or len(y) == 0:
+            raise ValueError("X and y must be non-empty with matching lengths")
+        self._trees = []
+        n = len(y)
+        for i in range(self.n_trees):
+            idx = self.rng.integers(0, n, size=n)  # bootstrap
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=int(self.rng.integers(2**31)),
+            )
+            tree.fit(X[idx], y[idx])
+            self._trees.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray, return_std: bool = False):
+        if not self._trees:
+            raise ValueError("model is not fitted")
+        preds = np.stack([t.predict(X) for t in self._trees])
+        mean = preds.mean(axis=0)
+        if return_std:
+            return mean, preds.std(axis=0)
+        return mean
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        if not self._trees:
+            raise ValueError("model is not fitted")
+        return np.mean([t.feature_importances_ for t in self._trees], axis=0)

@@ -1,0 +1,36 @@
+"""HiBench-style workload suite over the RDD lineage API."""
+
+from .base import EvolvingInput, Workload
+from .bayes import BayesClassifier
+from .generator import evolving_input, evolving_sizes, variant_of, workload_family
+from .kmeans import KMeans
+from .mlfit import MLFit
+from .pagerank import PageRank
+from .sort import Sort, TeraSort
+from .sql import SqlJoinAgg
+from .sqlmicro import Aggregation, Scan
+from .suite import SUITE, TABLE1_WORKLOADS, all_workloads, get_workload
+from .wordcount import Wordcount
+
+__all__ = [
+    "Workload",
+    "EvolvingInput",
+    "Wordcount",
+    "Scan",
+    "Aggregation",
+    "Sort",
+    "TeraSort",
+    "PageRank",
+    "BayesClassifier",
+    "KMeans",
+    "SqlJoinAgg",
+    "MLFit",
+    "SUITE",
+    "TABLE1_WORKLOADS",
+    "get_workload",
+    "all_workloads",
+    "variant_of",
+    "workload_family",
+    "evolving_sizes",
+    "evolving_input",
+]

@@ -1,0 +1,60 @@
+"""Workload abstraction and evolving-input descriptors.
+
+A :class:`Workload` builds the Spark jobs (RDD lineages + actions) for a
+given logical input size.  Workloads also declare their HiBench-style
+evolving dataset sizes (DS1 < DS2 < DS3), used throughout the paper's
+Section IV.B experiment.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..sparksim.rdd import Job
+
+__all__ = ["Workload", "EvolvingInput"]
+
+
+@dataclass(frozen=True)
+class EvolvingInput:
+    """Named evolving dataset sizes for one workload (MB)."""
+
+    ds1_mb: float
+    ds2_mb: float
+    ds3_mb: float
+
+    def __post_init__(self):
+        if not 0 < self.ds1_mb < self.ds2_mb < self.ds3_mb:
+            raise ValueError("dataset sizes must satisfy 0 < DS1 < DS2 < DS3")
+
+    def size(self, label: str) -> float:
+        sizes = {"DS1": self.ds1_mb, "DS2": self.ds2_mb, "DS3": self.ds3_mb}
+        try:
+            return sizes[label]
+        except KeyError:
+            raise KeyError(f"unknown dataset label {label!r}; use DS1/DS2/DS3") from None
+
+    def labels(self) -> list[str]:
+        return ["DS1", "DS2", "DS3"]
+
+
+class Workload(ABC):
+    """A parameterized analytics application."""
+
+    #: unique registry key, e.g. "pagerank"
+    name: str = ""
+    #: coarse category used in reports: "micro", "graph", "ml", "sql", "websearch"
+    category: str = ""
+    #: default evolving input sizes
+    inputs: EvolvingInput
+
+    @abstractmethod
+    def jobs(self, input_mb: float) -> list[Job]:
+        """Build the job sequence for a run over ``input_mb`` of input."""
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.category})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Workload {self.name}>"

@@ -1,0 +1,46 @@
+"""Naive Bayes classifier training — HiBench's e-commerce text workload.
+
+Tokenization plus per-class term-count aggregation: moderately shuffle-
+and memory-sensitive, sitting between Wordcount and PageRank in how much
+re-tuning helps as input grows (Table I shows 17 % / 25 %).
+"""
+
+from __future__ import annotations
+
+from ..sparksim.rdd import RDD, Job
+from .base import EvolvingInput, Workload
+
+__all__ = ["BayesClassifier"]
+
+
+class BayesClassifier(Workload):
+    """Naive Bayes training: tokenize, vectorize, group term counts."""
+
+    name = "bayes"
+    category = "ml"
+    inputs = EvolvingInput(ds1_mb=10_000, ds2_mb=25_000, ds3_mb=60_000)
+
+    def __init__(self, cpu_scale: float = 1.0, num_classes: int = 20):
+        if cpu_scale <= 0:
+            raise ValueError("cpu_scale must be positive")
+        if num_classes < 2:
+            raise ValueError("need at least two classes")
+        self.cpu_scale = cpu_scale
+        self.num_classes = num_classes
+
+    def jobs(self, input_mb: float) -> list[Job]:
+        c = self.cpu_scale
+        docs = RDD.source("documents", input_mb, record_bytes=200)
+        tokens = docs.flat_map("tokenize", cpu_s_per_mb=0.016 * c, size_ratio=1.15)
+        features = tokens.map("vectorize", cpu_s_per_mb=0.022 * c, size_ratio=0.80)
+        counts = features.group_by_key("termCountsByClass", cpu_s_per_mb=0.014 * c)
+        model = counts.map("normalizeModel", cpu_s_per_mb=0.006 * c, size_ratio=0.05)
+        jobs = [model.collect("collectModel", result_fraction=0.02)]
+
+        # Evaluation pass over the training documents.
+        scored = docs.map("scoreDocs", cpu_s_per_mb=0.030 * c, size_ratio=0.10)
+        confusion = scored.reduce_by_key(
+            "byClass", cpu_s_per_mb=0.008 * c, size_ratio=0.30,
+        )
+        jobs.append(confusion.count("evaluate"))
+        return jobs

@@ -1,0 +1,57 @@
+"""Synthetic workload variants and evolving-input generators.
+
+Transfer-learning experiments (paper Section V.B) need *families* of
+similar-but-not-identical workloads: the provider's history contains a
+neighbour's PageRank over a different graph, not yours.  ``variant_of``
+perturbs a workload's computational profile; ``evolving_sizes`` produces
+growth sequences beyond the canned DS1/DS2/DS3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import EvolvingInput, Workload
+
+__all__ = ["variant_of", "evolving_sizes", "workload_family"]
+
+
+def variant_of(base: Workload, name: str | None = None,
+               cpu_scale: float = 1.0) -> Workload:
+    """A workload with the same structure but scaled computational cost.
+
+    Every suite workload accepts a ``cpu_scale`` constructor argument;
+    the variant is a fresh instance with its own registry name.
+    """
+    if cpu_scale <= 0:
+        raise ValueError("cpu_scale must be positive")
+    variant = type(base)(cpu_scale=cpu_scale)
+    variant.name = name or f"{base.name}-x{cpu_scale:g}"
+    return variant
+
+
+def workload_family(base_cls, n: int, rng: np.random.Generator,
+                    spread: float = 0.35) -> list[Workload]:
+    """``n`` workloads of the same shape with log-normally spread CPU costs."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    members = []
+    for i in range(n):
+        scale = float(rng.lognormal(mean=0.0, sigma=spread))
+        w = base_cls(cpu_scale=scale)
+        w.name = f"{w.name}-v{i}"
+        members.append(w)
+    return members
+
+
+def evolving_sizes(base_mb: float, growth: float, steps: int) -> list[float]:
+    """Geometric input-size growth: the "ever growing data sets" of §IV.B."""
+    if base_mb <= 0 or growth <= 1.0 or steps < 1:
+        raise ValueError("need base_mb > 0, growth > 1, steps >= 1")
+    return [base_mb * growth**i for i in range(steps)]
+
+
+def evolving_input(base_mb: float, growth: float = 3.0) -> EvolvingInput:
+    """An :class:`EvolvingInput` with geometric DS1/DS2/DS3."""
+    ds = evolving_sizes(base_mb, growth, 3)
+    return EvolvingInput(*ds)

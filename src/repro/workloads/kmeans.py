@@ -1,0 +1,50 @@
+"""K-Means clustering — iterative, CPU-bound, cache-sensitive ML.
+
+Each iteration scans the (cached) point set computing distances and
+shuffles only tiny centroid partial sums, so the cache hit rate and CPU
+configuration dominate; shuffle knobs barely matter.
+"""
+
+from __future__ import annotations
+
+from ..sparksim.rdd import RDD, Job
+from .base import EvolvingInput, Workload
+
+__all__ = ["KMeans"]
+
+
+class KMeans(Workload):
+    """Iterative clustering: CPU-heavy scans of a cached point set."""
+
+    name = "kmeans"
+    category = "ml"
+    inputs = EvolvingInput(ds1_mb=4_000, ds2_mb=12_000, ds3_mb=40_000)
+
+    def __init__(self, iterations: int = 6, k: int = 10, cpu_scale: float = 1.0):
+        if iterations < 1:
+            raise ValueError("need at least one iteration")
+        if k < 2:
+            raise ValueError("k must be >= 2")
+        if cpu_scale <= 0:
+            raise ValueError("cpu_scale must be positive")
+        self.iterations = iterations
+        self.k = k
+        self.cpu_scale = cpu_scale
+
+    def jobs(self, input_mb: float) -> list[Job]:
+        c = self.cpu_scale
+        points = RDD.source("points", input_mb, record_bytes=60).map(
+            "parsePoints", cpu_s_per_mb=0.008 * c
+        ).cache()
+        jobs = [points.count("materializePoints")]
+        # Distance cost grows with k.
+        assign_cpu = 0.006 * self.k * c
+        for i in range(self.iterations):
+            partials = points.map(
+                f"assign-{i}", cpu_s_per_mb=assign_cpu, size_ratio=0.012
+            )
+            sums = partials.reduce_by_key(
+                f"centroidSums-{i}", cpu_s_per_mb=0.008 * c, size_ratio=1.0,
+            )
+            jobs.append(sums.collect(f"newCentroids-{i}", result_fraction=1.0))
+        return jobs

@@ -1,0 +1,47 @@
+"""Iterative model fitting (gradient descent) — the Ernest job shape.
+
+Venkataraman et al.'s Ernest exploits exactly this structure: per
+iteration, a full map over the (cached) training set followed by a tiny
+tree-aggregation to the driver.  Runtime decomposes as
+``a + b*(data/machines) + c*log(machines) + d*machines``, which is what
+:mod:`repro.tuning.ernest` fits.
+"""
+
+from __future__ import annotations
+
+from ..sparksim.rdd import RDD, Job
+from .base import EvolvingInput, Workload
+
+__all__ = ["MLFit"]
+
+
+class MLFit(Workload):
+    """Gradient-descent model fitting: the Ernest job shape."""
+
+    name = "mlfit"
+    category = "ml"
+    inputs = EvolvingInput(ds1_mb=4_000, ds2_mb=12_000, ds3_mb=40_000)
+
+    def __init__(self, iterations: int = 8, cpu_scale: float = 1.0):
+        if iterations < 1:
+            raise ValueError("need at least one iteration")
+        if cpu_scale <= 0:
+            raise ValueError("cpu_scale must be positive")
+        self.iterations = iterations
+        self.cpu_scale = cpu_scale
+
+    def jobs(self, input_mb: float) -> list[Job]:
+        c = self.cpu_scale
+        data = RDD.source("training", input_mb, record_bytes=80).map(
+            "parseVectors", cpu_s_per_mb=0.010 * c
+        ).cache()
+        jobs = [data.count("materializeTraining")]
+        for i in range(self.iterations):
+            grads = data.map(
+                f"gradients-{i}", cpu_s_per_mb=0.045 * c, size_ratio=0.002
+            )
+            agg = grads.reduce_by_key(
+                f"treeAggregate-{i}", cpu_s_per_mb=0.004 * c, size_ratio=1.0,
+            )
+            jobs.append(agg.collect(f"step-{i}", result_fraction=1.0))
+        return jobs

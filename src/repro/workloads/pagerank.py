@@ -1,0 +1,57 @@
+"""PageRank — iterative, cache- and shuffle-bound graph analytics.
+
+Each iteration joins the (cached) adjacency lists with the current ranks
+and shuffles contributions, so performance depends strongly on whether
+the graph fits in storage memory, on partition counts, and on shuffle
+configuration — all of which shift with input size.  This is the
+workload Table I shows saving up to 56 % from re-tuning at DS3.
+"""
+
+from __future__ import annotations
+
+from ..sparksim.rdd import RDD, Job
+from .base import EvolvingInput, Workload
+
+__all__ = ["PageRank"]
+
+
+class PageRank(Workload):
+    """Iterative graph ranking over a cached adjacency list."""
+
+    name = "pagerank"
+    category = "graph"
+    inputs = EvolvingInput(ds1_mb=5_000, ds2_mb=12_000, ds3_mb=40_000)
+
+    def __init__(self, iterations: int = 6, cpu_scale: float = 1.0):
+        if iterations < 1:
+            raise ValueError("need at least one iteration")
+        if cpu_scale <= 0:
+            raise ValueError("cpu_scale must be positive")
+        self.iterations = iterations
+        self.cpu_scale = cpu_scale
+
+    def jobs(self, input_mb: float) -> list[Job]:
+        c = self.cpu_scale
+        edges = RDD.source("edges", input_mb, record_bytes=24)
+        links = edges.map("parseEdges", cpu_s_per_mb=0.010 * c).group_by_key(
+            "groupLinks"
+        ).cache()
+        jobs = [links.count("materializeLinks")]
+
+        ranks = links.map("initRanks", cpu_s_per_mb=0.004 * c, size_ratio=0.06).cache()
+        jobs.append(ranks.count("materializeRanks"))
+
+        prev = ranks
+        for i in range(self.iterations):
+            contribs = links.join(ranks, f"join-{i}", cpu_s_per_mb=0.020 * c)
+            spread = contribs.flat_map(
+                f"contribs-{i}", cpu_s_per_mb=0.018 * c, size_ratio=0.25
+            )
+            # reduce back to the rank-vector size (~6% of the input)
+            new_ranks = spread.reduce_by_key(
+                f"updateRanks-{i}", cpu_s_per_mb=0.012 * c, size_ratio=0.23
+            ).cache()
+            jobs.append(new_ranks.count(f"iterate-{i}").then_unpersist(prev))
+            prev = new_ranks
+            ranks = new_ranks
+        return jobs

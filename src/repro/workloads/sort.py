@@ -1,0 +1,51 @@
+"""Sort and TeraSort — shuffle-saturating micro-benchmarks.
+
+The full dataset crosses the shuffle, so these stress network bandwidth,
+shuffle buffers, compression choices and execution memory (sort runs
+spill when partitions are too coarse).
+"""
+
+from __future__ import annotations
+
+from ..sparksim.rdd import RDD, Job
+from .base import EvolvingInput, Workload
+
+__all__ = ["Sort", "TeraSort"]
+
+
+class Sort(Workload):
+    """Full-shuffle sort: every input byte crosses the network."""
+
+    name = "sort"
+    category = "micro"
+    inputs = EvolvingInput(ds1_mb=5_000, ds2_mb=15_000, ds3_mb=50_000)
+
+    def __init__(self, cpu_scale: float = 1.0):
+        if cpu_scale <= 0:
+            raise ValueError("cpu_scale must be positive")
+        self.cpu_scale = cpu_scale
+
+    def jobs(self, input_mb: float) -> list[Job]:
+        records = RDD.source("records", input_mb, record_bytes=100)
+        parsed = records.map("parse", cpu_s_per_mb=0.005 * self.cpu_scale)
+        ordered = parsed.sort_by("sort", cpu_s_per_mb=0.022 * self.cpu_scale)
+        return [ordered.save("saveSorted")]
+
+
+class TeraSort(Workload):
+    """TeraSort: fixed 100-byte records, minimal parsing, full output write."""
+
+    name = "terasort"
+    category = "micro"
+    inputs = EvolvingInput(ds1_mb=10_000, ds2_mb=30_000, ds3_mb=100_000)
+
+    def __init__(self, cpu_scale: float = 1.0):
+        if cpu_scale <= 0:
+            raise ValueError("cpu_scale must be positive")
+        self.cpu_scale = cpu_scale
+
+    def jobs(self, input_mb: float) -> list[Job]:
+        records = RDD.source("teragen", input_mb, record_bytes=100)
+        keyed = records.map("extractKey", cpu_s_per_mb=0.003 * self.cpu_scale)
+        ordered = keyed.sort_by("terasort", cpu_s_per_mb=0.018 * self.cpu_scale)
+        return [ordered.save("teraoutput")]

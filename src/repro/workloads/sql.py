@@ -1,0 +1,50 @@
+"""SQL-style join + aggregation — the TPC-H-like analytic query shape.
+
+A fact/dimension shuffle join followed by a grouped aggregation: join
+hash tables make this the most OOM-prone workload in the suite, and the
+one Ernest-style ML-specific models adapt to worst (the paper's "poor
+adaptivity" criticism).
+"""
+
+from __future__ import annotations
+
+from ..sparksim.rdd import RDD, Job
+from .base import EvolvingInput, Workload
+
+__all__ = ["SqlJoinAgg"]
+
+
+class SqlJoinAgg(Workload):
+    """Fact/dimension shuffle join followed by a grouped aggregation."""
+
+    name = "sql-join-agg"
+    category = "sql"
+    inputs = EvolvingInput(ds1_mb=6_000, ds2_mb=18_000, ds3_mb=60_000)
+
+    def __init__(self, cpu_scale: float = 1.0, selectivity: float = 0.5,
+                 dim_fraction: float = 0.2):
+        if cpu_scale <= 0:
+            raise ValueError("cpu_scale must be positive")
+        if not 0 < selectivity <= 1:
+            raise ValueError("selectivity must be in (0, 1]")
+        if not 0 < dim_fraction < 1:
+            raise ValueError("dim_fraction must be in (0, 1)")
+        self.cpu_scale = cpu_scale
+        self.selectivity = selectivity
+        self.dim_fraction = dim_fraction
+
+    def jobs(self, input_mb: float) -> list[Job]:
+        c = self.cpu_scale
+        fact_mb = input_mb * (1.0 - self.dim_fraction)
+        dim_mb = input_mb * self.dim_fraction
+        fact = RDD.source("fact", fact_mb, record_bytes=150)
+        dim = RDD.source("dim", dim_mb, record_bytes=120)
+        f = fact.map("scanFilterFact", cpu_s_per_mb=0.007 * c,
+                     size_ratio=self.selectivity)
+        d = dim.map("projectDim", cpu_s_per_mb=0.006 * c, size_ratio=0.7)
+        joined = f.join(d, "shuffleHashJoin", cpu_s_per_mb=0.024 * c)
+        projected = joined.map("project", cpu_s_per_mb=0.004 * c, size_ratio=0.6)
+        aggregated = projected.reduce_by_key(
+            "groupAgg", cpu_s_per_mb=0.012 * c, size_ratio=0.08,
+        )
+        return [aggregated.collect("collectResult", result_fraction=0.05)]

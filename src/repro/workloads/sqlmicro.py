@@ -1,0 +1,63 @@
+"""SQL micro-benchmarks: Scan and Aggregation (HiBench's SQL category).
+
+``Scan`` is a selective table scan with projection — almost purely
+IO-bound, even flatter than Wordcount across configurations.
+``Aggregation`` is a full group-by over a high-cardinality key — the
+shuffle carries a large fraction of the table and the aggregation hash
+tables stress execution memory.
+"""
+
+from __future__ import annotations
+
+from ..sparksim.rdd import RDD, Job
+from .base import EvolvingInput, Workload
+
+__all__ = ["Scan", "Aggregation"]
+
+
+class Scan(Workload):
+    """Selective table scan with projection: IO-bound, config-flat."""
+
+    name = "scan"
+    category = "sql"
+    inputs = EvolvingInput(ds1_mb=15_000, ds2_mb=45_000, ds3_mb=150_000)
+
+    def __init__(self, cpu_scale: float = 1.0, selectivity: float = 0.1):
+        if cpu_scale <= 0:
+            raise ValueError("cpu_scale must be positive")
+        if not 0 < selectivity <= 1:
+            raise ValueError("selectivity must be in (0, 1]")
+        self.cpu_scale = cpu_scale
+        self.selectivity = selectivity
+
+    def jobs(self, input_mb: float) -> list[Job]:
+        table = RDD.source("table", input_mb, record_bytes=180)
+        filtered = table.filter("predicate", cpu_s_per_mb=0.004 * self.cpu_scale,
+                                keep=self.selectivity)
+        projected = filtered.map("project", cpu_s_per_mb=0.003 * self.cpu_scale,
+                                 size_ratio=0.6)
+        return [projected.save("writeResult")]
+
+
+class Aggregation(Workload):
+    """Full group-by over a high-cardinality key: shuffle/memory-bound."""
+
+    name = "aggregation"
+    category = "sql"
+    inputs = EvolvingInput(ds1_mb=8_000, ds2_mb=20_000, ds3_mb=50_000)
+
+    def __init__(self, cpu_scale: float = 1.0, group_ratio: float = 0.4):
+        if cpu_scale <= 0:
+            raise ValueError("cpu_scale must be positive")
+        if not 0 < group_ratio <= 1:
+            raise ValueError("group_ratio must be in (0, 1]")
+        self.cpu_scale = cpu_scale
+        self.group_ratio = group_ratio
+
+    def jobs(self, input_mb: float) -> list[Job]:
+        table = RDD.source("uservisits", input_mb, record_bytes=160)
+        keyed = table.map("extractKey", cpu_s_per_mb=0.008 * self.cpu_scale)
+        grouped = keyed.group_by_key("groupBy", cpu_s_per_mb=0.014 * self.cpu_scale)
+        aggregated = grouped.map("aggregate", cpu_s_per_mb=0.010 * self.cpu_scale,
+                                 size_ratio=self.group_ratio * 0.2)
+        return [aggregated.save("writeAggregates")]

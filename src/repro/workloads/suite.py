@@ -1,0 +1,50 @@
+"""Workload registry — the HiBench-style suite.
+
+The paper's prototype ran "5 types of workloads" from "a popular big data
+benchmark" (HiBench); this registry exposes eight covering the same
+categories (micro, websearch/graph, ML, SQL).
+"""
+
+from __future__ import annotations
+
+from .base import Workload
+from .bayes import BayesClassifier
+from .kmeans import KMeans
+from .mlfit import MLFit
+from .pagerank import PageRank
+from .sort import Sort, TeraSort
+from .sql import SqlJoinAgg
+from .sqlmicro import Aggregation, Scan
+from .wordcount import Wordcount
+
+__all__ = ["SUITE", "get_workload", "all_workloads", "TABLE1_WORKLOADS"]
+
+SUITE: dict[str, type] = {
+    "wordcount": Wordcount,
+    "sort": Sort,
+    "terasort": TeraSort,
+    "pagerank": PageRank,
+    "bayes": BayesClassifier,
+    "kmeans": KMeans,
+    "sql-join-agg": SqlJoinAgg,
+    "mlfit": MLFit,
+    "scan": Scan,
+    "aggregation": Aggregation,
+}
+
+#: the three workloads of the paper's Table I experiment
+TABLE1_WORKLOADS = ["pagerank", "bayes", "wordcount"]
+
+
+def get_workload(name: str, **kwargs) -> Workload:
+    """Instantiate a suite workload by registry name."""
+    try:
+        cls = SUITE[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(SUITE)}") from None
+    return cls(**kwargs)
+
+
+def all_workloads() -> list[Workload]:
+    """Instantiate every suite workload with default parameters."""
+    return [cls() for cls in SUITE.values()]

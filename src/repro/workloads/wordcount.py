@@ -1,0 +1,43 @@
+"""Wordcount — the scan-bound HiBench micro-benchmark.
+
+Map-heavy with a tiny shuffle (word histograms), so runtime is dominated
+by input scanning and per-record CPU.  This is the workload Table I of
+the paper shows gaining ~nothing from re-tuning as input grows (0-3 %):
+almost any feasible configuration is near-optimal.
+"""
+
+from __future__ import annotations
+
+from ..sparksim.rdd import RDD, Job
+from .base import EvolvingInput, Workload
+
+__all__ = ["Wordcount"]
+
+
+class Wordcount(Workload):
+    """Map-heavy text wordcount with a near-constant combined shuffle."""
+
+    name = "wordcount"
+    category = "micro"
+    inputs = EvolvingInput(ds1_mb=20_000, ds2_mb=60_000, ds3_mb=200_000)
+
+    def __init__(self, cpu_scale: float = 1.0, vocabulary_mb: float = 200.0):
+        if cpu_scale <= 0:
+            raise ValueError("cpu_scale must be positive")
+        if vocabulary_mb <= 0:
+            raise ValueError("vocabulary_mb must be positive")
+        self.cpu_scale = cpu_scale
+        self.vocabulary_mb = vocabulary_mb
+
+    def jobs(self, input_mb: float) -> list[Job]:
+        text = RDD.source("text", input_mb, record_bytes=80)
+        words = text.flat_map("split", cpu_s_per_mb=0.012 * self.cpu_scale, size_ratio=1.05)
+        pairs = words.map("pair", cpu_s_per_mb=0.004 * self.cpu_scale, size_ratio=1.0)
+        # Map-side combining caps the shuffle at (vocabulary x map tasks):
+        # shuffled volume is near-constant, not proportional to the input.
+        shuffle_mb = min(self.vocabulary_mb, 0.02 * input_mb * 1.05)
+        counts = pairs.reduce_by_key(
+            "count", cpu_s_per_mb=0.010 * self.cpu_scale,
+            size_ratio=shuffle_mb / (input_mb * 1.05),
+        )
+        return [counts.save("saveCounts")]

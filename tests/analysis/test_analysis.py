@@ -1,0 +1,88 @@
+"""Tests for statistics, regret curves and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bootstrap_ci,
+    evaluations_to_target,
+    geometric_mean,
+    mean_incumbent_curve,
+    normalized_regret_curve,
+    render_table,
+    summarize,
+)
+from repro.config import Configuration
+from repro.tuning import Observation, TuningResult
+
+
+def _result(costs):
+    r = TuningResult()
+    for i, c in enumerate(costs):
+        r.history.append(Observation(Configuration({"i": i}), c))
+    return r
+
+
+class TestStats:
+    def test_bootstrap_brackets_mean(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10, 1, 100)
+        point, lo, hi = bootstrap_ci(data, seed=1)
+        assert lo <= point <= hi
+        assert point == pytest.approx(10, abs=0.5)
+        assert hi - lo < 1.0
+
+    def test_bootstrap_single_value(self):
+        assert bootstrap_ci([5.0]) == (5.0, 5.0, 5.0)
+
+    def test_bootstrap_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1, -1])
+
+    def test_summarize_keys(self):
+        s = summarize([1, 2, 3, 4, 100])
+        assert s["min"] == 1 and s["max"] == 100
+        assert s["p50"] == 3
+
+
+class TestRegret:
+    def test_normalized_regret(self):
+        r = _result([10.0, 6.0, 8.0, 5.0])
+        regret = normalized_regret_curve(r, optimum=5.0)
+        assert regret[0] == pytest.approx(1.0)
+        assert regret[-1] == pytest.approx(0.0)
+        assert (np.diff(regret) <= 0).all()
+
+    def test_regret_requires_positive_optimum(self):
+        with pytest.raises(ValueError):
+            normalized_regret_curve(_result([1.0]), optimum=0)
+
+    def test_mean_incumbent_pads_short_runs(self):
+        curve = mean_incumbent_curve([_result([4.0, 2.0]), _result([3.0])])
+        assert len(curve) == 2
+        assert curve[1] == pytest.approx((2.0 + 3.0) / 2)
+
+    def test_evaluations_to_target(self):
+        results = [_result([10.0, 5.5, 5.0]), _result([20.0, 20.0, 20.0])]
+        out = evaluations_to_target(results, optimum=5.0, fraction=0.2)
+        assert out == [2, None]
+
+
+class TestReporting:
+    def test_render_contains_data(self):
+        table = render_table("T", ["name", "value"], [["a", 1.5], ["b", 1234.0]])
+        assert "=== T ===" in table
+        assert "a" in table and "1,234" in table
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table("T", ["a", "b"], [["only-one"]])
+
+    def test_nan_rendered_as_dash(self):
+        table = render_table("T", ["x"], [[float("nan")]])
+        assert "-" in table.splitlines()[-1]

@@ -1,0 +1,63 @@
+"""Tests for cross-validated model evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import PredictionScore, cross_validate
+from repro.tuning import GaussianProcess, KernelRidgeRegressor, RandomForestRegressor
+
+
+@pytest.fixture
+def dataset(rng):
+    X = rng.random((60, 4))
+    y = np.exp(1.0 + 2.0 * X[:, 0] + 0.5 * np.sin(6 * X[:, 1]))
+    return X, y
+
+
+class TestCrossValidate:
+    def test_good_model_scores_well(self, dataset):
+        X, y = dataset
+        score = cross_validate(lambda: RandomForestRegressor(n_trees=20, seed=0),
+                               X, y, k=5, seed=0)
+        assert score.spearman > 0.7
+        assert score.mape < 0.5
+
+    def test_gp_tuple_predictions_handled(self, dataset):
+        X, y = dataset
+        score = cross_validate(lambda: GaussianProcess(n_restarts=1, seed=0),
+                               X, y, k=5, seed=0)
+        assert np.isfinite(score.rmse)
+        assert score.spearman > 0.5
+
+    def test_useless_model_near_zero_rank(self, rng):
+        X = rng.random((60, 4))
+        y = rng.random(60) * 100 + 1
+
+        class Constant:
+            def fit(self, X, y):
+                self.v = float(np.mean(y))
+                return self
+
+            def predict(self, X):
+                return np.full(len(X), self.v)
+
+        score = cross_validate(Constant, X, y, k=5, seed=0)
+        assert abs(score.spearman) < 0.3
+
+    def test_log_targets_off(self, dataset):
+        X, y = dataset
+        score = cross_validate(lambda: KernelRidgeRegressor(lengthscale=0.5),
+                               X, y, k=5, seed=0, log_targets=False)
+        assert np.isfinite(score.rmse)
+
+    def test_validates_inputs(self, rng):
+        with pytest.raises(ValueError):
+            cross_validate(lambda: KernelRidgeRegressor(), rng.random((5, 2)),
+                           rng.random(5), k=5)
+        with pytest.raises(ValueError):
+            cross_validate(lambda: KernelRidgeRegressor(), rng.random((10, 2)),
+                           rng.random(9), k=2)
+
+    def test_describe(self):
+        s = PredictionScore(rmse=1.0, mape=0.25, spearman=0.8)
+        assert "25" in s.describe()

@@ -1,0 +1,37 @@
+"""Tests for cluster aggregation and billing."""
+
+import pytest
+
+from repro.cloud import Cluster, get_instance
+
+
+class TestCluster:
+    def test_aggregates(self, cluster):
+        assert cluster.total_vcpus == 64
+        assert cluster.total_memory_mb == 4 * 64 * 1024
+
+    def test_requires_at_least_one_node(self):
+        with pytest.raises(ValueError):
+            Cluster(get_instance("m5.large"), 0)
+
+    def test_of_constructor(self):
+        c = Cluster.of("m5.xlarge", 3)
+        assert c.instance.name == "m5.xlarge"
+        assert c.count == 3
+
+    def test_price_linear_in_nodes(self):
+        c1 = Cluster.of("m5.xlarge", 1)
+        c4 = Cluster.of("m5.xlarge", 4)
+        assert c4.price_per_hour == pytest.approx(4 * c1.price_per_hour)
+
+    def test_cost_per_second_billing(self):
+        c = Cluster.of("m5.xlarge", 2)
+        assert c.cost_of(1800) == pytest.approx(c.price_per_hour / 2)
+        assert c.cost_of(0) == 0.0
+
+    def test_cost_rejects_negative_runtime(self):
+        with pytest.raises(ValueError):
+            Cluster.of("m5.xlarge", 1).cost_of(-1)
+
+    def test_describe(self, cluster):
+        assert cluster.describe() == "4x h1.4xlarge (aws)"

@@ -1,0 +1,63 @@
+"""Tests for the instance catalogue."""
+
+import pytest
+
+from repro.cloud import CATALOGUE, FAMILIES, get_instance, list_instances
+
+
+class TestCatalogue:
+    def test_papers_instance_exists(self):
+        # The Table I cluster used h1.4xlarge.
+        h1 = get_instance("h1.4xlarge")
+        assert h1.vcpus == 16
+        assert h1.memory_mb == 64 * 1024
+        assert h1.provider == "aws"
+
+    def test_unknown_instance_raises(self):
+        with pytest.raises(KeyError):
+            get_instance("quantum.9000xlarge")
+
+    def test_three_providers(self):
+        providers = {t.provider for t in CATALOGUE.values()}
+        assert providers == {"aws", "azure", "gcp"}
+
+    def test_each_provider_has_multiple_families(self):
+        for provider in ("aws", "azure", "gcp"):
+            families = {t.family for t in list_instances(provider=provider)}
+            assert len(families) >= 3
+
+    def test_family_filter(self):
+        m5 = list_instances(family="m5")
+        assert m5 and all(t.family == "m5" for t in m5)
+
+    def test_price_scales_with_size(self):
+        assert get_instance("m5.xlarge").price_per_hour > get_instance("m5.large").price_per_hour
+        assert get_instance("m5.4xlarge").price_per_hour == pytest.approx(
+            8 * get_instance("m5.large").price_per_hour
+        )
+
+    def test_memory_optimized_has_more_memory_per_core(self):
+        r5 = get_instance("r5.xlarge")
+        c5 = get_instance("c5.xlarge")
+        assert r5.memory_per_core_mb > 2 * c5.memory_per_core_mb
+
+    def test_compute_optimized_faster_cores(self):
+        assert get_instance("c5.xlarge").cpu_speed > get_instance("m5.xlarge").cpu_speed
+
+    def test_storage_optimized_faster_disks(self):
+        assert get_instance("i3.xlarge").disk_mb_s > 3 * get_instance("m5.xlarge").disk_mb_s
+
+    def test_families_registry_consistent(self):
+        for fam in FAMILIES.values():
+            for t in fam.sizes:
+                assert t.family == fam.name
+                assert t.provider == fam.provider
+                assert CATALOGUE[t.name] is t
+
+    def test_all_specs_positive(self):
+        for t in CATALOGUE.values():
+            assert t.vcpus >= 1
+            assert t.memory_mb >= 512
+            assert t.disk_mb_s > 0
+            assert t.network_mb_s > 0
+            assert t.price_per_hour > 0

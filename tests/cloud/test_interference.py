@@ -1,0 +1,70 @@
+"""Tests for the co-location interference model."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import NOISY, QUIET, TYPICAL, Environment, InterferenceModel
+
+
+class TestEnvironment:
+    def test_factors_are_slowdowns(self):
+        with pytest.raises(ValueError):
+            Environment(cpu_factor=0.9)
+
+    def test_quiet_combined_is_one(self):
+        assert QUIET.combined() == 1.0
+
+    def test_presets_ordered(self):
+        assert QUIET.combined() < TYPICAL.combined() < NOISY.combined()
+
+
+class TestInterferenceModel:
+    def test_factors_always_at_least_one(self):
+        m = InterferenceModel(level=1.0, seed=3)
+        for _ in range(200):
+            env = m.step()
+            assert env.cpu_factor >= 1.0
+            assert env.disk_factor >= 1.0
+            assert env.network_factor >= 1.0
+
+    def test_level_zero_is_quiet(self):
+        m = InterferenceModel(level=0.0, seed=1)
+        for _ in range(20):
+            assert m.step().combined() == pytest.approx(1.0)
+
+    def test_higher_level_more_contention(self):
+        low = InterferenceModel(level=0.5, seed=7)
+        high = InterferenceModel(level=3.0, seed=7)
+        mean_low = np.mean([low.step().combined() for _ in range(100)])
+        mean_high = np.mean([high.step().combined() for _ in range(100)])
+        assert mean_high > mean_low
+
+    def test_temporal_correlation(self):
+        # Adjacent steps should correlate more than distant ones.
+        m = InterferenceModel(level=1.0, correlation=0.9, seed=11)
+        series = np.array([m.step().network_factor for _ in range(500)])
+        adjacent = np.corrcoef(series[:-1], series[1:])[0, 1]
+        distant = np.corrcoef(series[:-50], series[50:])[0, 1]
+        assert adjacent > distant + 0.2
+
+    def test_burst_raises_contention(self):
+        m = InterferenceModel(level=1.0, seed=5)
+        m.step()
+        baseline = m.step().combined()
+        m.burst(multiplier=5.0)
+        assert m.step().combined() > baseline
+
+    def test_deterministic_with_seed(self):
+        a = InterferenceModel(seed=42)
+        b = InterferenceModel(seed=42)
+        for _ in range(10):
+            assert a.step() == b.step()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            InterferenceModel(level=-1)
+        with pytest.raises(ValueError):
+            InterferenceModel(correlation=1.0)
+        m = InterferenceModel()
+        with pytest.raises(ValueError):
+            m.burst(-1)

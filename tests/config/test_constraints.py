@@ -1,0 +1,88 @@
+"""Tests for resource-grant packing and configuration repair."""
+
+import pytest
+
+from repro.cloud import Cluster
+from repro.config import grant_resources, repair, spark_space
+
+
+@pytest.fixture
+def space():
+    return spark_space()
+
+
+def _config(space, **overrides):
+    return space.default_configuration().replace(**overrides)
+
+
+class TestGrantResources:
+    def test_default_fits(self, space, cluster):
+        grant = grant_resources(space.default_configuration(), cluster)
+        assert grant.executors == 2
+        assert grant.fully_granted
+
+    def test_oversized_memory_rejected(self, space, cluster):
+        # 128 GiB executors cannot fit 64 GiB nodes.
+        cfg = _config(space, **{"spark.executor.memory": 65536,
+                                "spark.executor.memoryOverheadFactor": 0.1})
+        grant = grant_resources(cfg, cluster)
+        assert grant.executors == 0
+
+    def test_too_many_cores_rejected(self, space):
+        small = Cluster.of("m5.large", 4)  # 2 vCPUs per node
+        cfg = _config(space, **{"spark.executor.cores": 8})
+        assert grant_resources(cfg, small).executors == 0
+
+    def test_request_capped_by_capacity(self, space, cluster):
+        # 48 executors x 8 cores = 384 cores requested; cluster has 64.
+        cfg = _config(space, **{"spark.executor.instances": 48,
+                                "spark.executor.cores": 8,
+                                "spark.executor.memory": 2048})
+        grant = grant_resources(cfg, cluster)
+        assert 0 < grant.executors < 48
+        assert not grant.fully_granted
+        assert grant.total_slots <= cluster.total_vcpus
+
+    def test_memory_overhead_counted(self, space, cluster):
+        # 32 GiB heap + 40% overhead = 45 GiB container; one per 64 GiB node.
+        cfg = _config(space, **{"spark.executor.instances": 48,
+                                "spark.executor.cores": 1,
+                                "spark.executor.memory": 32768,
+                                "spark.executor.memoryOverheadFactor": 0.4})
+        grant = grant_resources(cfg, cluster)
+        assert grant.executors <= cluster.count
+
+    def test_driver_reserves_resources(self, space, cluster):
+        # Huge driver shrinks capacity on one node only.
+        small_driver = _config(space, **{"spark.executor.instances": 48,
+                                         "spark.executor.memory": 4096,
+                                         "spark.driver.memory": 1024})
+        big_driver = small_driver.replace(**{"spark.driver.memory": 16384})
+        g_small = grant_resources(small_driver, cluster)
+        g_big = grant_resources(big_driver, cluster)
+        assert g_big.executors <= g_small.executors
+
+    def test_grant_slots(self, space, cluster):
+        cfg = _config(space, **{"spark.executor.instances": 4,
+                                "spark.executor.cores": 4,
+                                "spark.executor.memory": 4096})
+        grant = grant_resources(cfg, cluster)
+        assert grant.total_slots == 16
+
+
+class TestRepair:
+    def test_feasible_untouched(self, space, cluster):
+        cfg = space.default_configuration()
+        assert repair(cfg, cluster) is cfg
+
+    def test_repairs_oversized_memory(self, space, cluster):
+        cfg = _config(space, **{"spark.executor.memory": 65536})
+        fixed = repair(cfg, cluster)
+        assert grant_resources(fixed, cluster).executors >= 1
+
+    def test_repairs_core_count(self, space):
+        small = Cluster.of("m5.large", 2)
+        cfg = _config(space, **{"spark.executor.cores": 16})
+        fixed = repair(cfg, small)
+        assert fixed["spark.executor.cores"] <= small.instance.vcpus
+        assert grant_resources(fixed, small).executors >= 1

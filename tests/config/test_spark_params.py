@@ -1,0 +1,86 @@
+"""Tests for the Spark parameter catalogue."""
+
+import pytest
+
+from repro.config import (
+    SPARK_DEFAULTS,
+    TUNED_BY_PROTOTYPE,
+    spark_core_space,
+    spark_space,
+)
+
+
+class TestSparkSpace:
+    def test_has_32_parameters(self):
+        assert spark_space().dimension == 32
+
+    def test_defaults_match_spark_docs(self):
+        d = SPARK_DEFAULTS
+        assert d["spark.executor.memory"] == 1024
+        assert d["spark.memory.fraction"] == 0.6
+        assert d["spark.memory.storageFraction"] == 0.5
+        assert d["spark.serializer"] == "java"
+        assert d["spark.shuffle.compress"] is True
+        assert d["spark.speculation"] is False
+        assert d["spark.reducer.maxSizeInFlight"] == 48
+
+    def test_default_configuration_is_valid(self):
+        s = spark_space()
+        s.validate(s.default_configuration())
+
+    def test_search_space_exceeds_10_40(self):
+        # The paper: tuning 30 parameters exceeds 10^40 configurations.
+        assert spark_space().log_cardinality() > 40
+
+    def test_core_space_subset(self):
+        core = spark_core_space()
+        assert core.dimension == len(TUNED_BY_PROTOTYPE)
+        full = spark_space()
+        for name in core.names:
+            assert name in full
+
+    def test_core_space_has_the_heavy_hitters(self):
+        core = spark_core_space()
+        for name in ["spark.executor.instances", "spark.executor.memory",
+                     "spark.default.parallelism", "spark.serializer"]:
+            assert name in core
+
+    def test_samples_are_valid(self, rng):
+        s = spark_space()
+        for _ in range(20):
+            s.validate(s.sample_configuration(rng))
+
+    def test_parallelism_is_log_scaled(self, rng):
+        # Log scaling: half the unit range covers [8, ~126].
+        p = spark_space()["spark.default.parallelism"]
+        assert p.from_unit(0.5) < (8 + 2000) / 2
+
+
+class TestCloudSpace:
+    def test_provider_filter(self):
+        from repro.config import cloud_space
+
+        s = cloud_space("aws")
+        types = s["cloud.instance_type"].choices
+        assert all(t.split(".")[0] in ("m5", "c5", "r5", "h1", "i3") for t in types)
+
+    def test_unknown_provider_empty(self):
+        from repro.config import cloud_space
+
+        with pytest.raises(ValueError):
+            cloud_space("nonexistent-cloud")
+
+    def test_joint_space_combines(self):
+        from repro.config import cloud_space, joint_space
+
+        disc = spark_core_space()
+        joint = joint_space(disc, provider="aws")
+        assert joint.dimension == disc.dimension + 2
+        assert "cloud.instance_type" in joint
+        assert "spark.executor.memory" in joint
+
+    def test_cluster_size_range_matches_paper(self):
+        from repro.config import cloud_space
+
+        p = cloud_space("aws")["cloud.cluster_size"]
+        assert p.low == 2 and p.high == 20  # "from 4 VMs to 20 VMs"

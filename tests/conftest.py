@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import Cluster
+from repro.config import spark_core_space, spark_space
+from repro.sparksim import SparkSimulator
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def space():
+    return spark_space()
+
+
+@pytest.fixture
+def core_space():
+    return spark_core_space()
+
+
+@pytest.fixture
+def cluster():
+    """The paper's experimental cluster: 4x h1.4xlarge."""
+    return Cluster.of("h1.4xlarge", 4)
+
+
+@pytest.fixture
+def simulator():
+    return SparkSimulator()
+
+
+@pytest.fixture
+def quiet_simulator():
+    """Deterministic simulator (noise off) for exact-value assertions."""
+    return SparkSimulator(noise=False)

@@ -1,0 +1,110 @@
+"""Tests for re-tuning drift detectors."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CusumDetector,
+    FixedThresholdDetector,
+    PageHinkleyDetector,
+    WindowedZTestDetector,
+)
+
+DETECTORS = [
+    lambda: FixedThresholdDetector(delta=0.3),
+    lambda: PageHinkleyDetector(),
+    lambda: CusumDetector(),
+    lambda: WindowedZTestDetector(),
+]
+
+
+def _steady(rng, n=30, mean=100.0, noise=0.05):
+    return mean * rng.lognormal(0, noise, n)
+
+
+def _shifted(rng, n_before=15, n_after=15, mean=100.0, shift=2.0, noise=0.05):
+    before = mean * rng.lognormal(0, noise, n_before)
+    after = mean * shift * rng.lognormal(0, noise, n_after)
+    return np.concatenate([before, after])
+
+
+class TestAllDetectors:
+    @pytest.mark.parametrize("factory", DETECTORS)
+    def test_detects_a_big_shift(self, factory):
+        rng = np.random.default_rng(1)
+        detector = factory()
+        fired_at = None
+        for i, r in enumerate(_shifted(rng, shift=2.5)):
+            if detector.update(r):
+                fired_at = i
+                break
+        assert fired_at is not None
+        assert fired_at >= 15  # not before the shift
+
+    @pytest.mark.parametrize("factory", DETECTORS)
+    def test_mostly_quiet_on_steady_stream(self, factory):
+        alarms = 0
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            detector = factory()
+            for r in _steady(rng):
+                if detector.update(r):
+                    alarms += 1
+        assert alarms <= 3  # <= 1% false-alarm-ish across 300 steady runs
+
+    @pytest.mark.parametrize("factory", DETECTORS)
+    def test_resets_after_alarm(self, factory):
+        rng = np.random.default_rng(2)
+        detector = factory()
+        for r in _shifted(rng, shift=3.0):
+            detector.update(r)
+        n_before = detector.n_alarms
+        assert n_before >= 1
+        # After re-baselining, a steady stream at the new level stays quiet.
+        post_alarms = sum(
+            detector.update(r) for r in _steady(rng, n=20, mean=300.0)
+        )
+        assert post_alarms <= 1
+
+    @pytest.mark.parametrize("factory", DETECTORS)
+    def test_rejects_bad_runtimes(self, factory):
+        detector = factory()
+        with pytest.raises(ValueError):
+            detector.update(0.0)
+        with pytest.raises(ValueError):
+            detector.update(float("inf"))
+
+
+class TestFixedThresholdWeakness:
+    """The failure mode Section V.D describes: fixed deltas misfire."""
+
+    def test_small_delta_false_alarms_on_noise(self):
+        rng = np.random.default_rng(3)
+        touchy = FixedThresholdDetector(delta=0.05)
+        alarms = sum(touchy.update(r) for r in _steady(rng, n=50, noise=0.1))
+        assert alarms >= 3  # fires on pure noise
+
+    def test_large_delta_misses_slow_drift(self):
+        rng = np.random.default_rng(4)
+        sluggish = FixedThresholdDetector(delta=1.0)
+        # 40% degradation: worth re-tuning, but under the 100% threshold.
+        drifted = np.concatenate([_steady(rng, 10), _steady(rng, 20, mean=140.0)])
+        assert not any(sluggish.update(r) for r in drifted)
+
+    def test_adaptive_detector_catches_what_fixed_misses(self):
+        rng = np.random.default_rng(4)
+        drifted = np.concatenate([_steady(rng, 10), _steady(rng, 20, mean=140.0)])
+        cusum = CusumDetector()
+        assert any(cusum.update(r) for r in drifted)
+
+
+class TestValidation:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            FixedThresholdDetector(delta=0)
+        with pytest.raises(ValueError):
+            PageHinkleyDetector(threshold=0)
+        with pytest.raises(ValueError):
+            CusumDetector(h=0)
+        with pytest.raises(ValueError):
+            WindowedZTestDetector(reference=1)

@@ -1,0 +1,103 @@
+"""Integration tests for the seamless tuning service (Fig. 1 end to end)."""
+
+import pytest
+
+from repro.core import (
+    FixedThresholdDetector,
+    SLOMetric,
+    TuningService,
+    TuningSLO,
+)
+from repro.workloads import PageRank, Sort, Wordcount, variant_of
+
+
+@pytest.fixture
+def service():
+    return TuningService(provider="aws", seed=7)
+
+
+class TestTwoStageTuning:
+    def test_submit_returns_complete_deployment(self, service):
+        dep = service.submit("t1", Wordcount(), 20_000,
+                             cloud_budget=8, disc_budget=12)
+        assert dep.cluster.count >= 2
+        assert dep.expected_runtime_s > 0
+        assert dep.tuning_evaluations <= 8 + 12
+        assert dep.config["spark.executor.memory"] >= 512
+
+    def test_cloud_stage_picks_within_provider(self, service):
+        cluster, evals = service.tune_cloud(Sort(), 10_000, budget=8)
+        assert cluster.instance.provider == "aws"
+        assert 1 <= evals <= 8
+
+    def test_tuned_beats_default_config(self, service, simulator):
+        dep = service.submit("t1", PageRank(), 9_000,
+                             cloud_budget=8, disc_budget=15)
+        from repro.config import spark_core_space
+
+        default = service.disc_space.default_configuration()
+        obj_default = simulator.run(
+            dep.workload, dep.input_mb, dep.cluster,
+            service.store.all()[0].config.replace(**dict(default)), seed=99,
+        )
+        assert dep.expected_runtime_s < obj_default.effective_runtime()
+
+    def test_history_accumulates(self, service):
+        service.submit("t1", Wordcount(), 20_000, cloud_budget=6, disc_budget=8)
+        assert len(service.store) >= 8
+        assert service.ledger.tuning_runs >= 8
+
+    def test_slo_report_attached(self, service):
+        slo = TuningSLO(SLOMetric.IMPROVEMENT_OVER_DEFAULT, target_fraction=0.3)
+        dep = service.submit("t1", PageRank(), 9_000, slo=slo,
+                             cloud_budget=6, disc_budget=12)
+        assert dep.slo_report is not None
+        assert dep.slo_report.attained  # default is terrible; easy target
+
+
+class TestTransferAcrossTenants:
+    def test_second_tenant_warm_starts(self, service):
+        service.submit("t1", PageRank(), 9_000, cloud_budget=6, disc_budget=12)
+        sibling = variant_of(PageRank(), name="their-graph", cpu_scale=1.3)
+        dep = service.submit("t2", sibling, 9_000, cloud_budget=6, disc_budget=10)
+        assert any("t1/" in s for s in dep.transferred_from)
+
+    def test_transfer_can_be_disabled(self, service):
+        service.submit("t1", PageRank(), 9_000, cloud_budget=6, disc_budget=10)
+        dep = service.submit("t2", PageRank(cpu_scale=1.2), 9_000,
+                             cloud_budget=6, disc_budget=10, use_transfer=False)
+        assert dep.transferred_from == []
+
+
+class TestProductionMonitoring:
+    def test_steady_production_no_retuning(self, service):
+        # The adaptive default detector stays quiet on a steady stream
+        # (a touchy fixed threshold would false-fire on noise outliers —
+        # exactly the Section V.D failure mode, tested in test_retuning).
+        dep = service.submit("t1", Wordcount(), 20_000,
+                             cloud_budget=6, disc_budget=10)
+        runs = service.run_production(dep, [20_000] * 10)
+        assert len(runs) == 10
+        assert not any(r.retuned for r in runs)
+        assert dep.retuned_count == 0
+
+    def test_input_growth_triggers_retuning(self, service):
+        dep = service.submit("t1", PageRank(), 5_000,
+                             cloud_budget=6, disc_budget=12)
+        sizes = [5_000] * 5 + [40_000] * 6
+        runs = service.run_production(
+            dep, sizes, detector=FixedThresholdDetector(delta=0.5),
+            retune_budget=8,
+        )
+        assert any(r.retuned for r in runs)
+        assert dep.retuned_count >= 1
+        # Re-tuning happened at or after the size jump.
+        first_retune = next(r.index for r in runs if r.retuned)
+        assert first_retune >= 5
+
+    def test_production_charged_to_ledger(self, service):
+        dep = service.submit("t1", Wordcount(), 20_000,
+                             cloud_budget=6, disc_budget=8)
+        before = service.ledger.production_runs
+        service.run_production(dep, [20_000] * 4)
+        assert service.ledger.production_runs == before + 4

@@ -1,0 +1,152 @@
+"""Tests for k-medoids clustering, neighbour lookup and transfer plans."""
+
+import numpy as np
+import pytest
+
+from repro.config import spark_core_space
+from repro.core import (
+    HistoryStore,
+    KMedoids,
+    build_transfer_plan,
+    find_similar_workloads,
+    probe_configuration,
+    signature,
+)
+from repro.workloads import PageRank, Sort, Wordcount, variant_of
+
+
+class TestKMedoids:
+    def test_separates_clear_clusters(self, rng):
+        a = rng.normal(0, 0.1, (20, 2))
+        b = rng.normal(5, 0.1, (20, 2))
+        km = KMedoids(k=2, seed=0).fit(np.vstack([a, b]))
+        labels = km.labels_
+        assert len(set(labels[:20])) == 1
+        assert len(set(labels[20:])) == 1
+        assert labels[0] != labels[25]
+
+    def test_medoids_are_data_points(self, rng):
+        X = rng.random((30, 3))
+        km = KMedoids(k=3, seed=1).fit(X)
+        assert all(0 <= i < 30 for i in km.medoid_indices_)
+        assert len(set(km.medoid_indices_)) == 3
+
+    def test_k_one_picks_central_point(self):
+        X = np.array([[0.0], [1.0], [0.5], [0.45]])
+        km = KMedoids(k=1).fit(X)
+        assert km.medoid_indices_[0] in (2, 3)
+
+    def test_rejects_k_larger_than_n(self):
+        with pytest.raises(ValueError):
+            KMedoids(k=5).fit(np.zeros((3, 2)))
+
+    def test_predict_assigns_nearest(self, rng):
+        X = np.vstack([rng.normal(0, 0.1, (10, 2)), rng.normal(5, 0.1, (10, 2))])
+        km = KMedoids(k=2, seed=0).fit(X)
+        medoid_points = X[km.medoid_indices_]
+        labels = km.predict(np.array([[0.0, 0.0], [5.0, 5.0]]), medoid_points)
+        assert labels[0] != labels[1]
+
+
+def _populated_store(cluster, simulator):
+    """History with two pagerank-like tenants and one wordcount tenant."""
+    store = HistoryStore()
+    space = spark_core_space()
+    rng = np.random.default_rng(0)
+    jobs = [
+        ("acme", PageRank(), 9_000),
+        ("globex", variant_of(PageRank(), name="graph-x", cpu_scale=1.4), 6_000),
+        ("initech", Wordcount(), 20_000),
+    ]
+    for tenant, w, mb in jobs:
+        for i in range(6):
+            cfg = space.sample_configuration(rng)
+            full = probe_configuration().replace(**dict(cfg))
+            r = simulator.run(w, mb, cluster, full, seed=i)
+            store.record(tenant, w.name, mb, cluster.describe(), full, r, signature(r))
+    return store
+
+
+class TestFindSimilar:
+    def test_nearest_is_the_sibling_workload(self, cluster, simulator):
+        store = _populated_store(cluster, simulator)
+        target = store.mean_signature("acme", "pagerank")
+        similar = find_similar_workloads(store, target, k=2,
+                                         exclude=("acme", "pagerank"))
+        assert similar[0].workload_label == "graph-x"
+
+    def test_exclude_self(self, cluster, simulator):
+        store = _populated_store(cluster, simulator)
+        target = store.mean_signature("acme", "pagerank")
+        similar = find_similar_workloads(store, target, k=5,
+                                         exclude=("acme", "pagerank"))
+        assert all(s.workload_label != "pagerank" for s in similar)
+
+    def test_max_distance_guards_negative_transfer(self, cluster, simulator):
+        store = _populated_store(cluster, simulator)
+        target = store.mean_signature("acme", "pagerank")
+        none = find_similar_workloads(store, target, k=5, max_distance=1e-9,
+                                      exclude=("acme", "pagerank"))
+        assert none == []
+
+    def test_distances_sorted(self, cluster, simulator):
+        store = _populated_store(cluster, simulator)
+        target = store.mean_signature("initech", "wordcount")
+        similar = find_similar_workloads(store, target, k=3,
+                                         exclude=("initech", "wordcount"))
+        distances = [s.distance for s in similar]
+        assert distances == sorted(distances)
+
+
+class TestTransferPlan:
+    def test_plan_prefers_similar_source(self, cluster, simulator):
+        store = _populated_store(cluster, simulator)
+        space = spark_core_space()
+        target = store.mean_signature("acme", "pagerank")
+        plan = build_transfer_plan(store, target, space,
+                                   exclude=("acme", "pagerank"), k_sources=1)
+        assert not plan.is_empty
+        assert plan.sources[0].workload_label == "graph-x"
+
+    def test_costs_rescaled_to_target(self, cluster, simulator):
+        store = _populated_store(cluster, simulator)
+        space = spark_core_space()
+        target = store.mean_signature("acme", "pagerank")
+        plan = build_transfer_plan(store, target, space,
+                                   exclude=("acme", "pagerank"),
+                                   k_sources=1, target_scale_runtime=100.0)
+        # Costs are anchored so the source's *median* run maps onto the
+        # target probe runtime; the source's best runs land below it
+        # (the warmed model should still expect improvements).
+        source = plan.sources[0]
+        runs = sorted(
+            r.runtime_s
+            for r in store.for_workload(source.tenant, source.workload_label)
+            if r.success
+        )
+        median = runs[len(runs) // 2]
+        expected_best = runs[0] * (100.0 / median)
+        assert min(cost for _, cost in plan.observations) == pytest.approx(expected_best)
+        assert min(cost for _, cost in plan.observations) < 100.0
+
+    def test_projected_configs_valid_in_space(self, cluster, simulator):
+        store = _populated_store(cluster, simulator)
+        space = spark_core_space()
+        target = store.mean_signature("acme", "pagerank")
+        plan = build_transfer_plan(store, target, space, exclude=("acme", "pagerank"))
+        for config, _ in plan.observations:
+            space.validate(config)
+
+    def test_empty_store_empty_plan(self):
+        space = spark_core_space()
+        plan = build_transfer_plan(HistoryStore(), np.zeros(11), space)
+        assert plan.is_empty
+
+    def test_observation_cap(self, cluster, simulator):
+        store = _populated_store(cluster, simulator)
+        space = spark_core_space()
+        target = store.mean_signature("acme", "pagerank")
+        plan = build_transfer_plan(store, target, space,
+                                   exclude=("acme", "pagerank"),
+                                   max_observations=3)
+        assert len(plan.observations) <= 3

@@ -1,0 +1,109 @@
+"""Tests for SLO evaluation and amortization analysis."""
+
+import pytest
+
+from repro.core import (
+    AmortizationInputs,
+    SLOMetric,
+    TuningSLO,
+    analyze_amortization,
+    evaluate_slo,
+)
+
+
+class TestSLO:
+    def test_within_optimal_attained(self):
+        slo = TuningSLO(SLOMetric.WITHIN_OPTIMAL, target_fraction=0.2)
+        report = evaluate_slo(slo, achieved_runtime_s=110, reference_runtime_s=100)
+        assert report.value == pytest.approx(0.10)
+        assert report.attained
+
+    def test_within_optimal_missed(self):
+        slo = TuningSLO(SLOMetric.WITHIN_OPTIMAL, target_fraction=0.2)
+        report = evaluate_slo(slo, 130, 100)
+        assert not report.attained
+
+    def test_improvement_over_default(self):
+        slo = TuningSLO(SLOMetric.IMPROVEMENT_OVER_DEFAULT, target_fraction=0.5)
+        good = evaluate_slo(slo, achieved_runtime_s=40, reference_runtime_s=100)
+        bad = evaluate_slo(slo, achieved_runtime_s=80, reference_runtime_s=100)
+        assert good.attained and good.value == pytest.approx(0.6)
+        assert not bad.attained
+
+    def test_within_best_similar(self):
+        slo = TuningSLO(SLOMetric.WITHIN_BEST_SIMILAR, target_fraction=0.3)
+        assert evaluate_slo(slo, 120, 100).attained
+        assert not evaluate_slo(slo, 200, 100).attained
+
+    def test_describe_mentions_verdict(self):
+        slo = TuningSLO(SLOMetric.WITHIN_OPTIMAL, 0.2)
+        assert "ATTAINED" in evaluate_slo(slo, 100, 100).describe()
+        assert "MISSED" in evaluate_slo(slo, 1000, 100).describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TuningSLO(SLOMetric.WITHIN_OPTIMAL, -0.1)
+        slo = TuningSLO(SLOMetric.WITHIN_OPTIMAL, 0.1)
+        with pytest.raises(ValueError):
+            evaluate_slo(slo, 0, 100)
+
+
+class TestAmortization:
+    def test_papers_bestconfig_example_does_not_amortize(self):
+        """500 tuning runs vs 90 production runs in 3 months (Section IV.C)."""
+        run_cost = 1.0
+        inputs = AmortizationInputs(
+            tuning_cost_usd=500 * run_cost,      # 500 exploratory executions
+            default_run_cost_usd=run_cost,
+            tuned_run_cost_usd=run_cost * 0.2,   # even a generous 80% saving
+            runs_per_month=30,
+            months_until_retuning=3,
+        )
+        report = analyze_amortization(inputs)
+        assert not report.amortizes
+        assert report.net_saving_usd < 0
+
+    def test_data_efficient_tuning_amortizes(self):
+        """CherryPick-style ~10-exec tuning pays off quickly."""
+        inputs = AmortizationInputs(
+            tuning_cost_usd=10.0,
+            default_run_cost_usd=1.0,
+            tuned_run_cost_usd=0.5,
+            runs_per_month=30,
+            months_until_retuning=3,
+        )
+        report = analyze_amortization(inputs)
+        assert report.amortizes
+        assert report.breakeven_runs == pytest.approx(20)
+        assert report.net_saving_usd == pytest.approx(90 * 0.5 - 10)
+
+    def test_provider_offload_bounds_user_cost(self):
+        """Principle 3: shifting tuning cost to the provider."""
+        base = dict(
+            tuning_cost_usd=500.0, default_run_cost_usd=1.0,
+            tuned_run_cost_usd=0.5, runs_per_month=30, months_until_retuning=3,
+        )
+        user_pays = analyze_amortization(AmortizationInputs(**base, user_cost_share=1.0))
+        offloaded = analyze_amortization(AmortizationInputs(**base, user_cost_share=0.0))
+        assert not user_pays.amortizes
+        assert offloaded.amortizes
+        assert offloaded.user_tuning_cost_usd == 0.0
+
+    def test_no_saving_never_breaks_even(self):
+        inputs = AmortizationInputs(
+            tuning_cost_usd=10.0, default_run_cost_usd=1.0,
+            tuned_run_cost_usd=1.0, runs_per_month=10, months_until_retuning=12,
+        )
+        report = analyze_amortization(inputs)
+        assert report.breakeven_runs == float("inf")
+        assert not report.amortizes
+
+    def test_describe(self):
+        inputs = AmortizationInputs(10, 1.0, 0.5, 30, 3)
+        assert "amortizes" in analyze_amortization(inputs).describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AmortizationInputs(-1, 1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            AmortizationInputs(1, 1, 1, 1, 1, user_cost_share=2.0)

@@ -1,0 +1,65 @@
+"""Tests for Spark-style event-log export/import."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import probe_configuration, signature
+from repro.sparksim import event_lines, read_event_log, write_event_log
+from repro.workloads import PageRank, Wordcount
+
+
+@pytest.fixture
+def result(cluster, simulator):
+    return simulator.run(PageRank(iterations=2), 3_000, cluster,
+                         probe_configuration(), seed=4)
+
+
+class TestEventLog:
+    def test_lines_are_json_events(self, result):
+        lines = event_lines(result)
+        events = [json.loads(line) for line in lines]
+        assert events[0]["Event"] == "SparkListenerApplicationStart"
+        assert events[-1]["Event"] == "SparkListenerApplicationEnd"
+        stage_events = [e for e in events
+                        if e["Event"] == "SparkListenerStageCompleted"]
+        assert len(stage_events) == result.num_stages
+
+    def test_roundtrip_preserves_metrics(self, result, tmp_path):
+        path = tmp_path / "app.jsonl"
+        write_event_log(result, path)
+        loaded = read_event_log(path)
+        assert loaded.workload == result.workload
+        assert loaded.runtime_s == pytest.approx(result.runtime_s)
+        assert loaded.success == result.success
+        assert loaded.num_stages == result.num_stages
+        assert loaded.total_shuffle_mb == pytest.approx(result.total_shuffle_mb)
+        assert loaded.total_cpu_s == pytest.approx(result.total_cpu_s)
+
+    def test_characterization_from_log_matches(self, result, tmp_path):
+        """The provider pipeline works from logs alone."""
+        path = tmp_path / "app.jsonl"
+        write_event_log(result, path)
+        loaded = read_event_log(path)
+        assert np.allclose(signature(loaded), signature(result))
+
+    def test_failed_run_roundtrip(self, cluster, simulator, tmp_path):
+        bad = probe_configuration().replace(**{"spark.executor.memory": 65536})
+        result = simulator.run(Wordcount(), 1000, cluster, bad)
+        assert not result.success
+        path = tmp_path / "failed.jsonl"
+        write_event_log(result, path)
+        loaded = read_event_log(path)
+        assert not loaded.success
+        assert loaded.failure_reason == result.failure_reason
+
+    def test_task_metrics_preserved(self, result, tmp_path):
+        path = tmp_path / "app.jsonl"
+        write_event_log(result, path)
+        loaded = read_event_log(path)
+        for a, b in zip(result.stages, loaded.stages):
+            if a.task_metrics is None:
+                assert b.task_metrics is None
+            else:
+                assert b.task_metrics.p95_s == pytest.approx(a.task_metrics.p95_s)

@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import _parse_overrides, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args([
+            "simulate", "--workload", "sort", "--size", "DS2",
+            "--instance", "m5.xlarge", "--nodes", "6",
+        ])
+        assert args.workload == "sort"
+        assert args.nodes == 6
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--workload", "mystery"])
+
+
+class TestOverrides:
+    def test_typed_parsing(self):
+        out = _parse_overrides([
+            "spark.executor.memory=4096",
+            "spark.memory.fraction=0.7",
+            "spark.shuffle.compress=false",
+            "spark.serializer=kryo",
+        ])
+        assert out["spark.executor.memory"] == 4096
+        assert out["spark.memory.fraction"] == 0.7
+        assert out["spark.shuffle.compress"] is False
+        assert out["spark.serializer"] == "kryo"
+
+    def test_rejects_unknown_key(self):
+        with pytest.raises(SystemExit):
+            _parse_overrides(["spark.unknown=1"])
+
+    def test_rejects_malformed(self):
+        with pytest.raises(SystemExit):
+            _parse_overrides(["no-equals-sign"])
+
+
+class TestCommands:
+    def test_workloads_lists_suite(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "pagerank" in out and "wordcount" in out
+
+    def test_instances_filtered(self, capsys):
+        assert main(["instances", "--provider", "gcp"]) == 0
+        out = capsys.readouterr().out
+        assert "n1-standard" in out
+        assert "m5" not in out
+
+    def test_simulate_success_exit_zero(self, capsys):
+        code = main([
+            "simulate", "--workload", "wordcount", "--size", "DS1",
+            "--set", "spark.executor.instances=8",
+            "--set", "spark.executor.cores=4",
+            "--set", "spark.executor.memory=8192",
+        ])
+        assert code == 0
+        assert "SUCCESS" in capsys.readouterr().out
+
+    def test_simulate_failure_exit_one(self, capsys):
+        code = main([
+            "simulate", "--workload", "wordcount", "--size", "DS1",
+            "--set", "spark.executor.memory=65536",
+        ])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_tune_prints_config(self, capsys):
+        code = main([
+            "tune", "--workload", "sort", "--size", "DS1",
+            "--tuner", "random", "--budget", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best runtime" in out
+        assert "spark.executor.memory" in out
+
+    def test_submit_with_history_file(self, capsys, tmp_path):
+        history = tmp_path / "h.json"
+        code = main([
+            "submit", "--workload", "wordcount", "--input-mb", "20000",
+            "--cloud-budget", "6", "--disc-budget", "8",
+            "--history", str(history),
+        ])
+        assert code == 0
+        assert history.exists()
+        payload = json.loads(history.read_text())
+        assert payload["records"]
+        # Second submit loads the saved history.
+        code = main([
+            "submit", "--workload", "wordcount", "--input-mb", "20000",
+            "--cloud-budget", "6", "--disc-budget", "8",
+            "--history", str(history),
+        ])
+        assert code == 0
+        assert "loaded" in capsys.readouterr().out

@@ -1,0 +1,128 @@
+"""Tests for SimulationObjective: resolution, metrics, repair, ledger."""
+
+import pytest
+
+from repro.cloud import Cluster, CostLedger, InterferenceModel
+from repro.config import Configuration, cloud_space, joint_space, spark_core_space
+from repro.tuning import SimulationObjective
+from repro.workloads import Sort, Wordcount
+
+
+class TestResolve:
+    def test_disc_space_uses_fixed_cluster(self, cluster):
+        obj = SimulationObjective(Wordcount(), 20_000, cluster=cluster)
+        resolved_cluster, config = obj.resolve(
+            spark_core_space().default_configuration()
+        )
+        assert resolved_cluster is cluster
+        # Missing parameters are filled from Spark defaults.
+        assert "spark.io.compression.codec" in config
+
+    def test_cloud_params_build_cluster(self):
+        obj = SimulationObjective(Wordcount(), 20_000)
+        space = cloud_space("aws")
+        cfg = Configuration({"cloud.instance_type": "m5.xlarge",
+                             "cloud.cluster_size": 6})
+        resolved, spark_config = obj.resolve(cfg)
+        assert resolved.instance.name == "m5.xlarge"
+        assert resolved.count == 6
+        # Cloud keys never leak into the Spark configuration.
+        assert "cloud.instance_type" not in spark_config
+
+    def test_joint_space_resolves_both(self, cluster):
+        obj = SimulationObjective(Wordcount(), 20_000)
+        joint = joint_space(spark_core_space(), provider="aws")
+        cfg = joint.default_configuration()
+        resolved, spark_config = obj.resolve(cfg)
+        assert resolved.count == cfg["cloud.cluster_size"]
+        assert spark_config["spark.executor.memory"] == cfg["spark.executor.memory"]
+
+    def test_no_cluster_no_cloud_params_raises(self):
+        obj = SimulationObjective(Wordcount(), 20_000)
+        with pytest.raises(ValueError):
+            obj(spark_core_space().default_configuration())
+
+    def test_base_config_overrides_defaults(self, cluster):
+        obj = SimulationObjective(
+            Wordcount(), 20_000, cluster=cluster,
+            base_config={"spark.serializer": "kryo"},
+        )
+        _, config = obj.resolve(Configuration({"spark.executor.cores": 2}))
+        assert config["spark.serializer"] == "kryo"
+        assert config["spark.executor.cores"] == 2
+
+
+class TestEvaluation:
+    def test_fresh_seed_per_call(self, cluster):
+        obj = SimulationObjective(Sort(), 5_000, cluster=cluster, seed=3)
+        cfg = spark_core_space().default_configuration()
+        assert obj(cfg) != obj(cfg)
+
+    def test_price_metric_scales_with_cluster_cost(self):
+        big = Cluster.of("m5.4xlarge", 16)
+        small = Cluster.of("m5.xlarge", 4)
+        cfg = spark_core_space().default_configuration()
+        cost_big = SimulationObjective(Wordcount(), 20_000, cluster=big,
+                                       metric="price", seed=1)(cfg)
+        runtime_big = SimulationObjective(Wordcount(), 20_000, cluster=big,
+                                          seed=1)(cfg)
+        assert cost_big == pytest.approx(big.cost_of(runtime_big), rel=1e-6)
+        cost_small = SimulationObjective(Wordcount(), 20_000, cluster=small,
+                                         metric="price", seed=1)(cfg)
+        # Default config wastes the big cluster: small is cheaper per run.
+        assert cost_small < cost_big
+
+    def test_invalid_metric_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            SimulationObjective(Wordcount(), 100, cluster=cluster, metric="joy")
+
+    def test_ledger_charged_per_call(self, cluster):
+        ledger = CostLedger()
+        obj = SimulationObjective(Wordcount(), 20_000, cluster=cluster, ledger=ledger)
+        cfg = spark_core_space().default_configuration()
+        obj(cfg)
+        obj(cfg)
+        assert ledger.tuning_runs == 2
+        assert ledger.tuning_cost > 0
+
+    def test_interference_slows_runs(self, cluster):
+        calm = SimulationObjective(Sort(), 10_000, cluster=cluster, seed=5)
+        noisy = SimulationObjective(
+            Sort(), 10_000, cluster=cluster, seed=5,
+            interference=InterferenceModel(level=5.0, seed=1),
+        )
+        cfg = spark_core_space().default_configuration()
+        calm_costs = [calm(cfg) for _ in range(5)]
+        noisy_costs = [noisy(cfg) for _ in range(5)]
+        assert sum(noisy_costs) > sum(calm_costs)
+
+    def test_last_result_exposed(self, cluster):
+        obj = SimulationObjective(Wordcount(), 20_000, cluster=cluster)
+        assert obj.last_result is None
+        obj(spark_core_space().default_configuration())
+        assert obj.last_result is not None
+        assert obj.last_result.workload == "wordcount"
+
+
+class TestRepair:
+    def test_repair_rescues_unsatisfiable_sizing(self):
+        tiny_nodes = Cluster.of("m5.large", 4)  # 2 vCPU / 8 GiB nodes
+        oversized = Configuration({
+            "spark.executor.instances": 4, "spark.executor.cores": 8,
+            "spark.executor.memory": 32768,
+        })
+        raw = SimulationObjective(Wordcount(), 5_000, cluster=tiny_nodes, seed=1)
+        raw(oversized)
+        assert not raw.last_result.success
+
+        repaired = SimulationObjective(Wordcount(), 5_000, cluster=tiny_nodes,
+                                       repair=True, seed=1)
+        repaired(oversized)
+        assert repaired.last_result.success
+
+    def test_repair_leaves_feasible_configs_alone(self, cluster):
+        obj = SimulationObjective(Wordcount(), 5_000, cluster=cluster, repair=True)
+        cfg = spark_core_space().default_configuration()
+        _, resolved = obj.resolve(cfg)
+        for name in cfg:
+            assert resolved[name] == cfg[name]

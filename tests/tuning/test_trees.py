@@ -1,0 +1,114 @@
+"""Tests for CART trees and random forests."""
+
+import numpy as np
+import pytest
+
+from repro.tuning import DecisionTreeRegressor, RandomForestRegressor
+
+
+class TestDecisionTree:
+    def test_fits_step_function_exactly(self):
+        X = np.linspace(0, 1, 50)[:, None]
+        y = (X[:, 0] > 0.5).astype(float)
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        pred = tree.predict(X)
+        assert np.allclose(pred, y)
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(0).random((20, 3))
+        tree = DecisionTreeRegressor().fit(X, np.full(20, 5.0))
+        assert tree.depth() == 0
+        assert np.allclose(tree.predict(X), 5.0)
+
+    def test_max_depth_respected(self, rng):
+        X = rng.random((200, 4))
+        y = rng.normal(size=200)
+        tree = DecisionTreeRegressor(max_depth=3, min_samples_leaf=1).fit(X, y)
+        assert tree.depth() <= 3
+
+    def test_min_samples_leaf(self, rng):
+        X = rng.random((50, 2))
+        y = rng.normal(size=50)
+        tree = DecisionTreeRegressor(max_depth=20, min_samples_leaf=10).fit(X, y)
+
+        def check(node):
+            if node.is_leaf:
+                assert node.n_samples >= 10
+            else:
+                check(node.left)
+                check(node.right)
+
+        check(tree._root)
+
+    def test_feature_importances_find_signal(self, rng):
+        X = rng.random((300, 5))
+        y = 10 * X[:, 2] + 0.01 * rng.normal(size=300)  # only feature 2 matters
+        tree = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        assert np.argmax(tree.feature_importances_) == 2
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_generalizes_smooth_function(self, rng):
+        X = rng.random((400, 2))
+        y = np.sin(4 * X[:, 0])
+        tree = DecisionTreeRegressor(max_depth=8).fit(X, y)
+        Xt = rng.random((100, 2))
+        rmse = np.sqrt(np.mean((tree.predict(Xt) - np.sin(4 * Xt[:, 0])) ** 2))
+        assert rmse < 0.2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().predict(np.zeros((1, 2)))
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+
+class TestRandomForest:
+    def test_better_than_single_tree_on_noise(self, rng):
+        X = rng.random((300, 3))
+        y = 3 * X[:, 0] + np.sin(5 * X[:, 1]) + 0.3 * rng.normal(size=300)
+        Xt = rng.random((100, 3))
+        yt = 3 * Xt[:, 0] + np.sin(5 * Xt[:, 1])
+        tree = DecisionTreeRegressor(max_depth=10, min_samples_leaf=1, seed=0).fit(X, y)
+        forest = RandomForestRegressor(n_trees=30, seed=0).fit(X, y)
+        rmse_tree = np.sqrt(np.mean((tree.predict(Xt) - yt) ** 2))
+        rmse_forest = np.sqrt(np.mean((forest.predict(Xt) - yt) ** 2))
+        assert rmse_forest < rmse_tree
+
+    def test_std_reflects_uncertainty(self, rng):
+        X = np.concatenate([rng.random((100, 1)) * 0.4, np.array([[0.95]])])
+        y = X[:, 0] + 0.05 * rng.normal(size=101)
+        forest = RandomForestRegressor(n_trees=20, seed=1).fit(X, y)
+        _, std = forest.predict(np.array([[0.2], [0.99]]), return_std=True)
+        assert std.shape == (2,)
+        assert (std >= 0).all()
+
+    def test_deterministic_by_seed(self, rng):
+        X = rng.random((50, 2))
+        y = rng.normal(size=50)
+        a = RandomForestRegressor(n_trees=5, seed=9).fit(X, y).predict(X)
+        b = RandomForestRegressor(n_trees=5, seed=9).fit(X, y).predict(X)
+        assert np.allclose(a, b)
+
+    def test_feature_importances_aggregate(self, rng):
+        X = rng.random((200, 4))
+        y = 5 * X[:, 1]
+        forest = RandomForestRegressor(n_trees=10, seed=2).fit(X, y)
+        assert np.argmax(forest.feature_importances_) == 1
+
+    def test_requires_fit(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor().predict(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            _ = RandomForestRegressor().feature_importances_
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_trees=0)

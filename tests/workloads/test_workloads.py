@@ -1,0 +1,205 @@
+"""Tests for the workload suite: structure, scaling, characteristics."""
+
+import pytest
+
+from repro.config import SPARK_DEFAULTS, Configuration
+from repro.sparksim import compile_job
+from repro.workloads import (
+    SUITE,
+    TABLE1_WORKLOADS,
+    BayesClassifier,
+    EvolvingInput,
+    KMeans,
+    MLFit,
+    PageRank,
+    Sort,
+    SqlJoinAgg,
+    TeraSort,
+    Wordcount,
+    all_workloads,
+    evolving_sizes,
+    get_workload,
+    variant_of,
+    workload_family,
+)
+
+
+GOOD = Configuration({**SPARK_DEFAULTS, **{
+    "spark.executor.instances": 8, "spark.executor.cores": 8,
+    "spark.executor.memory": 16384, "spark.default.parallelism": 128,
+}})
+
+
+class TestRegistry:
+    def test_suite_has_ten(self):
+        assert len(SUITE) == 10
+
+    def test_table1_workloads_present(self):
+        assert TABLE1_WORKLOADS == ["pagerank", "bayes", "wordcount"]
+        for name in TABLE1_WORKLOADS:
+            assert name in SUITE
+
+    def test_get_workload(self):
+        w = get_workload("pagerank", iterations=3)
+        assert isinstance(w, PageRank)
+        assert w.iterations == 3
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_workload("mystery")
+
+    def test_all_workloads_instantiable(self):
+        workloads = all_workloads()
+        assert len(workloads) == len(SUITE)
+        names = {w.name for w in workloads}
+        assert names == set(SUITE)
+
+    def test_categories_cover_hibench(self):
+        categories = {w.category for w in all_workloads()}
+        assert {"micro", "graph", "ml", "sql"} <= categories
+
+
+class TestEvolvingInput:
+    def test_monotone_sizes_required(self):
+        with pytest.raises(ValueError):
+            EvolvingInput(100, 50, 200)
+
+    def test_size_lookup(self):
+        e = EvolvingInput(1, 2, 3)
+        assert e.size("DS1") == 1 and e.size("DS3") == 3
+        with pytest.raises(KeyError):
+            e.size("DS9")
+
+    def test_all_workloads_declare_growing_inputs(self):
+        for w in all_workloads():
+            assert w.inputs.ds1_mb < w.inputs.ds2_mb < w.inputs.ds3_mb
+
+    def test_evolving_sizes_geometric(self):
+        assert evolving_sizes(100, 2.0, 3) == [100, 200, 400]
+        with pytest.raises(ValueError):
+            evolving_sizes(100, 1.0, 3)
+
+
+class TestJobStructure:
+    def test_wordcount_two_stages(self):
+        jobs = Wordcount().jobs(1000)
+        assert len(jobs) == 1
+        assert compile_job(jobs[0]).num_stages == 2
+
+    def test_wordcount_tiny_shuffle(self):
+        plan = compile_job(Wordcount().jobs(10_000)[0])
+        shuffle = sum(s.shuffle_write_mb for s in plan.stages)
+        assert shuffle < 0.05 * 10_000
+
+    def test_sort_full_shuffle(self):
+        plan = compile_job(Sort().jobs(10_000)[0])
+        shuffle = sum(s.shuffle_write_mb for s in plan.stages)
+        assert shuffle == pytest.approx(10_000, rel=0.05)
+
+    def test_terasort_writes_output(self):
+        plan = compile_job(TeraSort().jobs(1000)[0])
+        assert any(s.writes_output for s in plan.stages)
+
+    def test_pagerank_job_count_scales_with_iterations(self):
+        assert len(PageRank(iterations=3).jobs(1000)) == 2 + 3
+        assert len(PageRank(iterations=8).jobs(1000)) == 2 + 8
+
+    def test_pagerank_caches_links_and_ranks(self):
+        jobs = PageRank(iterations=2).jobs(1000)
+        assert jobs[0].target.cached    # links
+        assert jobs[1].target.cached    # ranks
+
+    def test_pagerank_unpersists_old_ranks(self):
+        jobs = PageRank(iterations=2).jobs(1000)
+        assert jobs[2].unpersist_after  # iteration releases previous ranks
+
+    def test_kmeans_iterations(self):
+        assert len(KMeans(iterations=4).jobs(1000)) == 1 + 4
+
+    def test_kmeans_validates_params(self):
+        with pytest.raises(ValueError):
+            KMeans(iterations=0)
+        with pytest.raises(ValueError):
+            KMeans(k=1)
+
+    def test_bayes_two_passes(self):
+        assert len(BayesClassifier().jobs(1000)) == 2
+
+    def test_sql_join_three_upstream_stages(self):
+        plan = compile_job(SqlJoinAgg().jobs(1000)[0])
+        assert plan.num_stages >= 4  # two scans, join, aggregation
+
+    def test_scan_is_io_bound_single_stage(self):
+        from repro.workloads import Scan
+
+        plan = compile_job(Scan().jobs(10_000)[0])
+        assert plan.num_stages == 1
+        assert plan.stages[0].shuffle_write_mb == 0
+
+    def test_aggregation_shuffles_whole_table(self):
+        from repro.workloads import Aggregation
+
+        plan = compile_job(Aggregation().jobs(10_000)[0])
+        shuffle = sum(s.shuffle_write_mb for s in plan.stages)
+        assert shuffle == pytest.approx(10_000, rel=0.05)
+
+    def test_sqlmicro_validates_params(self):
+        from repro.workloads import Aggregation, Scan
+
+        with pytest.raises(ValueError):
+            Scan(selectivity=0)
+        with pytest.raises(ValueError):
+            Aggregation(group_ratio=0)
+
+    def test_mlfit_tiny_shuffles(self):
+        jobs = MLFit(iterations=3).jobs(10_000)
+        total_shuffle = 0.0
+        for i, job in enumerate(jobs):
+            plan = compile_job(job, first_stage_id=i * 10)
+            total_shuffle += sum(s.shuffle_write_mb for s in plan.stages)
+        assert total_shuffle < 0.05 * 10_000
+
+    def test_cpu_scale_validated_everywhere(self):
+        for cls in (Wordcount, Sort, TeraSort, PageRank, BayesClassifier,
+                    KMeans, SqlJoinAgg, MLFit):
+            with pytest.raises(ValueError):
+                cls(cpu_scale=0)
+
+
+class TestRuntimeCharacteristics:
+    def test_pagerank_cache_sensitive_wordcount_not(self, cluster, quiet_simulator):
+        """The Table-I mechanism: memory matters for pagerank, not wordcount."""
+        low_mem = GOOD.replace(**{"spark.executor.memory": 2048})
+        ratios = {}
+        for w in (PageRank(iterations=4), Wordcount()):
+            slow = quiet_simulator.run(w, 10_000, cluster, low_mem)
+            fast = quiet_simulator.run(w, 10_000, cluster, GOOD)
+            ratios[w.name] = slow.effective_runtime() / fast.effective_runtime()
+        assert ratios["pagerank"] > ratios["wordcount"]
+
+    def test_mlfit_cpu_bound(self, cluster, simulator):
+        r = simulator.run(MLFit(iterations=3), 5_000, cluster, GOOD, seed=1)
+        assert r.total_cpu_s > 3 * (r.total_io_s + r.total_net_s)
+
+
+class TestVariants:
+    def test_variant_scales_runtime(self, cluster, quiet_simulator):
+        base = Wordcount()
+        heavy = variant_of(base, cpu_scale=3.0)
+        a = quiet_simulator.run(base, 10_000, cluster, GOOD)
+        b = quiet_simulator.run(heavy, 10_000, cluster, GOOD)
+        assert b.runtime_s > a.runtime_s
+
+    def test_variant_rename(self):
+        v = variant_of(Wordcount(), name="wc-clone", cpu_scale=1.5)
+        assert v.name == "wc-clone"
+        assert v.category == "micro"
+
+    def test_variant_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            variant_of(Wordcount(), cpu_scale=0)
+
+    def test_workload_family_distinct(self, rng):
+        fam = workload_family(PageRank, 4, rng)
+        assert len({w.name for w in fam}) == 4
+        assert all(isinstance(w, PageRank) for w in fam)
