@@ -28,8 +28,9 @@ from ..cloud.pricing import CostLedger
 from ..config.cloud_params import cloud_space
 from ..config.space import Configuration, ConfigurationSpace
 from ..config.spark_params import spark_core_space
+from ..engine import EngineObjective, EvaluationEngine
 from ..sparksim.simulator import SparkSimulator
-from ..tuning.base import Observation, SimulationObjective
+from ..tuning.base import Tuner, TuningResult, run_tuner_batched
 from ..tuning.bo.bayesopt import BayesOptTuner
 from .characterization import probe_configuration, signature
 from .history import HistoryStore
@@ -76,6 +77,9 @@ class TuningService:
                  simulator: SparkSimulator | None = None,
                  disc_space: ConfigurationSpace | None = None,
                  interference_level: float = 0.0,
+                 engine: EvaluationEngine | None = None,
+                 executor: str = "serial",
+                 max_workers: int | None = None,
                  seed: int = 0):
         self.provider = provider
         self.simulator = simulator or SparkSimulator()
@@ -89,10 +93,22 @@ class TuningService:
             InterferenceModel(level=interference_level, seed=seed)
             if interference_level > 0 else None
         )
+        #: all exploratory executions ride one engine, so identical
+        #: candidates across sessions and tenants are answered from the
+        #: memoization cache — the provider amortizes tuning cost
+        #: (paper principle 3) and the counters quantify it.
+        self.engine = engine or EvaluationEngine(
+            simulator=self.simulator, executor=executor,
+            max_workers=max_workers,
+        )
 
     def _next_seed(self) -> int:
         self._session_counter += 1
         return self.seed + 7919 * self._session_counter
+
+    def engine_counters(self) -> dict[str, float]:
+        """Hit/miss/latency counters of the shared evaluation engine."""
+        return self.engine.counters()
 
     # --- stage 1: cloud configuration ------------------------------------
     def tune_cloud(self, workload, input_mb: float, budget: int = 12,
@@ -102,12 +118,13 @@ class TuningService:
         Returns the provisioned cluster and the evaluations spent.
         """
         seed = self._next_seed()
-        objective = SimulationObjective(
-            workload, input_mb, cluster=None,
-            simulator=self.simulator,
+        objective = EngineObjective(
+            self.engine, workload, input_mb, cluster=None,
             base_config=dict(probe_configuration()),
             interference=self.interference,
-            ledger=self.ledger, metric=metric, seed=seed,
+            # Per-config seeding keys the noise to the candidate, so the
+            # same candidate re-proposed in any session is a cache hit.
+            ledger=self.ledger, metric=metric, seed=self.seed,
             # The probe's executor sizing is repaired per candidate
             # cluster: stage 1 compares clusters, not crash behaviour.
             repair=True,
@@ -127,12 +144,16 @@ class TuningService:
     # --- stage 2: DISC configuration ------------------------------------------
     def tune_disc(self, tenant: str, workload_label: str, workload,
                   input_mb: float, cluster: Cluster, budget: int = 25,
-                  use_transfer: bool = True) -> tuple[TuningSession, list[str]]:
+                  use_transfer: bool = True,
+                  batch_size: int = 1) -> tuple[TuningSession, list[str]]:
         """Tune the Spark configuration, warm-started from similar history."""
         seed = self._next_seed()
-        objective = SimulationObjective(
-            workload, input_mb, cluster=cluster, simulator=self.simulator,
-            interference=self.interference, ledger=self.ledger, seed=seed,
+        objective = EngineObjective(
+            self.engine, workload, input_mb, cluster=cluster,
+            interference=self.interference, ledger=self.ledger,
+            # Service-level seed + per-config noise: identical candidates
+            # across sessions/tenants are cache hits (amortization).
+            seed=self.seed,
             # The service repairs obviously-unsatisfiable executor sizing
             # before launching (a competent operator never requests 4-core
             # executors on 2-core nodes); genuinely bad-but-launchable
@@ -173,10 +194,16 @@ class TuningService:
         projected = Configuration({
             name: probe_as_run[name] for name in self.disc_space.names
         })
-        tuner.observe(projected, probe_cost)
-        session.result.history.append(Observation(projected, probe_cost))
+        probe_obs = tuner.observe(
+            projected, probe_cost,
+            succeeded=bool(getattr(probe_result, "success", True)),
+        )
+        session.result.history.append(probe_obs)
 
-        session.run(SessionConfig(budget=budget, min_evaluations=min(10, budget)))
+        session.run(
+            SessionConfig(budget=budget, min_evaluations=min(10, budget)),
+            batch_size=batch_size,
+        )
         return session, sources
 
     # --- the seamless front door ---------------------------------------------
@@ -185,7 +212,8 @@ class TuningService:
                slo: TuningSLO | None = None,
                cloud_budget: int = 12, disc_budget: int = 25,
                use_transfer: bool = True,
-               cloud_metric: str = "price") -> Deployment:
+               cloud_metric: str = "price",
+               batch_size: int = 1) -> Deployment:
         """Deploy a workload with everything tuned on the tenant's behalf.
 
         ``cloud_metric`` expresses the user's trade-off (Section IV.D: "do
@@ -200,6 +228,7 @@ class TuningService:
         session, sources = self.tune_disc(
             tenant, label, workload, input_mb, cluster,
             budget=disc_budget, use_transfer=use_transfer,
+            batch_size=batch_size,
         )
         best = session.result.best
         # Deploy the configuration as the objective actually launched it
@@ -217,6 +246,24 @@ class TuningService:
             tuning_evaluations=cloud_evals + session.result.n_evaluations,
             transferred_from=sources,
         )
+
+    def bulk_evaluate(self, workload, input_mb: float, cluster: Cluster,
+                      tuner: Tuner, budget: int,
+                      batch_size: int = 16,
+                      metric: str = "runtime") -> TuningResult:
+        """Screen many candidates through the shared engine, batched.
+
+        The provider-side bulk path ("more than 2000 configurations
+        tested"): population tuners propose whole batches, the engine
+        memoizes repeats and can fan misses out to parallel workers, and
+        every execution is charged to the provider ledger.
+        """
+        objective = EngineObjective(
+            self.engine, workload, input_mb, cluster=cluster,
+            interference=self.interference, ledger=self.ledger,
+            metric=metric, seed=self.seed, repair=True,
+        )
+        return run_tuner_batched(tuner, objective, budget, batch_size=batch_size)
 
     def _slo_reference(self, slo: TuningSLO, tenant: str, label: str,
                        session: TuningSession) -> float | None:

@@ -17,7 +17,12 @@ from ..cloud.cluster import Cluster
 from ..cloud.pricing import CostLedger
 from ..config.space import Configuration, ConfigurationSpace
 from ..sparksim.metrics import ExecutionResult
-from ..tuning.base import Observation, SimulationObjective, Tuner, TuningResult
+from ..tuning.base import (
+    SimulationObjective,
+    Tuner,
+    TuningResult,
+    _call_succeeded,
+)
 from ..tuning.bo.bayesopt import BayesOptTuner
 from .characterization import probe_configuration, signature
 from .history import HistoryStore
@@ -78,22 +83,63 @@ class TuningSession:
             projected = Configuration({
                 name: probe[name] for name in self.tuner.space.names
             })
-            self.tuner.observe(projected, cost)
-            self.result.history.append(Observation(projected, cost))
+            obs = self.tuner.observe(
+                projected, cost, succeeded=_call_succeeded(self.objective)
+            )
+            self.result.history.append(obs)
         return signature(exec_result), cost
 
-    def run(self, session_config: SessionConfig = SessionConfig()) -> TuningResult:
-        """Tune until the budget, the EI rule, or the SLO target stops us."""
+    def _evaluate_batch(self, configs) -> list[tuple[float, bool, ExecutionResult]]:
+        """Evaluate ``configs``, batched through the engine when available."""
+        evaluate_batch = getattr(self.objective, "evaluate_batch", None)
+        if evaluate_batch is None or len(configs) == 1:
+            out = []
+            for config in configs:
+                cost = self.objective(config)
+                out.append((
+                    cost, _call_succeeded(self.objective),
+                    self.objective.last_result,
+                ))
+            return out
+        outcomes = evaluate_batch(configs)
+        records = getattr(self.objective, "last_records", None) or []
+        results = [record.result for record in records]
+        if len(results) != len(outcomes):   # non-engine batch protocol
+            results = [self.objective.last_result] * len(outcomes)
+        return [
+            (cost, succeeded, result)
+            for (cost, succeeded), result in zip(outcomes, results)
+        ]
+
+    def run(self, session_config: SessionConfig = SessionConfig(),
+            batch_size: int = 1) -> TuningResult:
+        """Tune until the budget, the EI rule, or the SLO target stops us.
+
+        With ``batch_size > 1``, suggestions are drawn through the
+        tuner's ``suggest_batch`` and evaluated together (memoized and,
+        with a parallel engine, concurrently); stopping rules are
+        checked at batch boundaries.
+        """
         cfg = session_config
-        for i in range(cfg.budget):
-            suggestion = self.tuner.suggest()
-            cost = self.objective(suggestion)
-            self.tuner.observe(suggestion, cost)
-            self.result.history.append(Observation(suggestion, cost))
-            self._record(suggestion, self.objective.last_result)
-            if self.ledger is not None and self.objective.ledger is None:
-                self.ledger.charge_tuning(self.cluster, self.objective.last_result.runtime_s)
-            if i + 1 < cfg.min_evaluations:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        evals = 0
+        while evals < cfg.budget:
+            k = min(batch_size, cfg.budget - evals)
+            suggestions = (
+                self.tuner.suggest_batch(k) if k > 1 else [self.tuner.suggest()]
+            )
+            suggestions = suggestions[: cfg.budget - evals]
+            for suggestion, (cost, succeeded, exec_result) in zip(
+                suggestions, self._evaluate_batch(suggestions)
+            ):
+                obs = self.tuner.observe(suggestion, cost, succeeded=succeeded)
+                self.result.history.append(obs)
+                self._record(suggestion, exec_result)
+                if self.ledger is not None and self.objective.ledger is None:
+                    self.ledger.charge_tuning(self.cluster, exec_result.runtime_s)
+                evals += 1
+            if evals < cfg.min_evaluations:
                 continue
             if cfg.target_runtime_s is not None and self.result.best_cost <= cfg.target_runtime_s:
                 break

@@ -1,0 +1,18 @@
+"""Batch evaluation engine: memoized, parallel candidate evaluation."""
+
+from .cache import CacheStats, EvaluationCache, config_fingerprint
+from .engine import EngineObjective, EvalRecord, EvalRequest, EvaluationEngine
+from .executors import ParallelExecutor, SerialExecutor, default_worker_count
+
+__all__ = [
+    "CacheStats",
+    "EvaluationCache",
+    "config_fingerprint",
+    "EvalRequest",
+    "EvalRecord",
+    "EvaluationEngine",
+    "EngineObjective",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "default_worker_count",
+]

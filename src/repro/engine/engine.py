@@ -1,0 +1,242 @@
+"""Batch evaluation engine: memoized, executor-backed candidate evaluation.
+
+The paper's provider-side vision only pays off if the provider can
+evaluate *thousands* of candidate configurations cheaply ("more than
+2000 configurations tested across 5 types of workloads").  The engine is
+that layer: tuners hand it whole batches of candidates, it answers
+repeats from an LRU cache (cross-tenant amortization, principle 3 of the
+paper), dispatches the rest to a pluggable executor — in-process, or a
+process pool with per-worker simulators — and reports hit/miss/latency
+counters so the service can account for what tuning actually cost.
+
+Determinism contract: every request carries its own noise seed, assigned
+by the caller *before* dispatch, so a batch produces bit-identical
+results whether it runs serially or across workers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..cloud.cluster import Cluster
+from ..cloud.interference import QUIET, Environment
+from ..config.space import Configuration
+from ..sparksim.costmodel import Calibration
+from ..sparksim.metrics import ExecutionResult
+from ..sparksim.simulator import SparkSimulator
+from ..tuning.base import SimulationObjective
+from .cache import CacheStats, EvaluationCache, config_fingerprint
+from .executors import ParallelExecutor, SerialExecutor
+
+__all__ = ["EvalRequest", "EvalRecord", "EvaluationEngine", "EngineObjective"]
+
+
+@dataclass(frozen=True)
+class EvalRequest:
+    """One fully-resolved candidate evaluation."""
+
+    workload: object                 # repro.workloads.Workload
+    input_mb: float
+    cluster: Cluster
+    config: Configuration            # full Spark config, already resolved
+    env: Environment = QUIET
+    seed: int = 0
+
+    def cache_key(self) -> tuple:
+        return (
+            getattr(self.workload, "name", repr(self.workload)),
+            float(self.input_mb),
+            self.cluster,
+            config_fingerprint(self.config),
+            self.env,
+            int(self.seed),
+        )
+
+
+@dataclass(frozen=True)
+class EvalRecord:
+    """One engine answer: the execution result plus provenance."""
+
+    request: EvalRequest
+    result: ExecutionResult
+    cached: bool
+    latency_s: float
+
+
+class EvaluationEngine:
+    """Evaluate batches of configurations through cache + executor.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"`` (default), ``"process"`` for a multiprocessing pool
+        with per-worker simulators, or any object implementing
+        ``run_batch(requests) -> list[ExecutionResult]``.
+    cache_size:
+        LRU capacity; 0 disables memoization entirely.
+    """
+
+    def __init__(self, simulator: SparkSimulator | None = None,
+                 executor: str | object = "serial",
+                 max_workers: int | None = None,
+                 cache_size: int = 4096,
+                 calibration: Calibration | None = None,
+                 noise: bool = True):
+        if simulator is None:
+            simulator = SparkSimulator(calibration=calibration, noise=noise)
+        self.simulator = simulator
+        if executor == "serial":
+            self._executor = SerialExecutor(simulator)
+        elif executor == "process":
+            self._executor = ParallelExecutor(
+                max_workers=max_workers,
+                calibration=simulator.calibration,
+                noise=simulator.noise,
+            )
+        elif hasattr(executor, "run_batch"):
+            self._executor = executor
+        else:
+            raise ValueError(
+                "executor must be 'serial', 'process', or expose run_batch()"
+            )
+        self.cache = EvaluationCache(capacity=cache_size) if cache_size else None
+        self.n_evaluated = 0         # simulations actually run (cache misses)
+        self.n_requested = 0         # total requests answered
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats if self.cache is not None else CacheStats()
+
+    def counters(self) -> dict[str, float]:
+        """Flat snapshot of the engine's hit/miss/latency counters."""
+        snap = self.stats.snapshot()
+        snap.update(n_requested=self.n_requested, n_evaluated=self.n_evaluated)
+        return snap
+
+    # --- evaluation ----------------------------------------------------------
+    def evaluate(self, request: EvalRequest) -> EvalRecord:
+        return self.evaluate_batch([request])[0]
+
+    def evaluate_batch(self, requests) -> list[EvalRecord]:
+        """Answer ``requests`` in order, via cache then executor.
+
+        Duplicate requests inside one batch are simulated once and
+        fanned out — population tuners re-propose elites, and a provider
+        batch may carry the same candidate for several tenants.
+        """
+        requests = list(requests)
+        self.n_requested += len(requests)
+        keys = [r.cache_key() for r in requests]
+        records: list[EvalRecord | None] = [None] * len(requests)
+
+        # Cache pass: answer known keys, dedup the rest.
+        miss_of_key: dict[tuple, list[int]] = {}
+        for i, (req, key) in enumerate(zip(requests, keys)):
+            hit = self.cache.get(key) if self.cache is not None else None
+            if hit is not None:
+                records[i] = EvalRecord(req, hit, cached=True, latency_s=0.0)
+            else:
+                miss_of_key.setdefault(key, []).append(i)
+
+        if miss_of_key:
+            unique = [requests[slots[0]] for slots in miss_of_key.values()]
+            start = time.perf_counter()
+            results = self._executor.run_batch(unique)
+            elapsed = time.perf_counter() - start
+            per_request = elapsed / len(unique)
+            self.n_evaluated += len(unique)
+            for (key, slots), result in zip(miss_of_key.items(), results):
+                if self.cache is not None:
+                    self.cache.put(key, result, latency_s=per_request)
+                first = slots[0]
+                for i in slots:
+                    records[i] = EvalRecord(
+                        requests[i], result,
+                        cached=(i != first), latency_s=per_request,
+                    )
+        return records  # type: ignore[return-value]
+
+    def close(self) -> None:
+        self._executor.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class EngineObjective(SimulationObjective):
+    """A :class:`SimulationObjective` whose executions ride an engine.
+
+    Adds ``evaluate_batch(configs)`` — the protocol
+    :func:`repro.tuning.base.run_tuner_batched` looks for — while staying
+    a drop-in single-candidate callable.  All stateful bookkeeping
+    (interference stepping, seeding, ledger charges) happens here in the
+    parent, in request order, before dispatch; the engine and its
+    workers only ever see pure ``EvalRequest``s.  Serial and parallel
+    executors therefore produce identical observation histories.
+
+    ``seed_mode`` controls per-candidate seeding:
+
+    - ``"per-config"`` (default): the noise seed is a stable digest of
+      the configuration, so re-evaluating a candidate is a cache hit —
+      the amortization the provider-side service depends on.
+    - ``"per-call"``: every call draws a fresh seed (matching
+      :class:`SimulationObjective`); repeats re-simulate with new noise.
+    """
+
+    def __init__(self, engine: EvaluationEngine, workload, input_mb: float,
+                 seed_mode: str = "per-config", **kwargs):
+        if seed_mode not in ("per-config", "per-call"):
+            raise ValueError("seed_mode must be 'per-config' or 'per-call'")
+        kwargs.setdefault("simulator", engine.simulator)
+        super().__init__(workload, input_mb, **kwargs)
+        self.engine = engine
+        self.seed_mode = seed_mode
+        #: engine records of the most recent batch (per-candidate
+        #: ExecutionResults + cache provenance, for session recording)
+        self.last_records: list[EvalRecord] = []
+
+    def _seed_for(self, spark_config: Configuration) -> int:
+        if self.seed_mode == "per-config":
+            digest = int(config_fingerprint(spark_config)[:12], 16)
+            return (self._seed + digest) % (2**63)
+        return self._seed + self.n_calls
+
+    def _build_request(self, config) -> EvalRequest:
+        cluster, spark_config = self.resolve(config)
+        env = self.interference.step() if self.interference else QUIET
+        self.n_calls += 1
+        return EvalRequest(
+            workload=self.workload, input_mb=self.input_mb, cluster=cluster,
+            config=spark_config, env=env, seed=self._seed_for(spark_config),
+        )
+
+    def _settle(self, record: EvalRecord) -> tuple[float, bool]:
+        """Turn an engine record into (cost, succeeded) + side effects."""
+        result = record.result
+        self.last_result = result
+        if self.ledger is not None and not record.cached:
+            # Cache hits are free: the provider already paid for that run.
+            self.ledger.charge_tuning(record.request.cluster, result.runtime_s)
+        runtime = result.effective_runtime(
+            self.failure_penalty, self.failure_floor_s
+        )
+        cost = (
+            record.request.cluster.cost_of(runtime)
+            if self.metric == "price" else runtime
+        )
+        return cost, result.success
+
+    def evaluate_batch(self, configs) -> list[tuple[float, bool]]:
+        requests = [self._build_request(c) for c in configs]
+        records = self.engine.evaluate_batch(requests)
+        self.last_records = records
+        return [self._settle(record) for record in records]
+
+    def __call__(self, config) -> float:
+        cost, _ = self.evaluate_batch([config])[0]
+        return cost

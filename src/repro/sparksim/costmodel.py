@@ -100,7 +100,7 @@ def compute_stage_cost(
     cache: CachePlan,
     env: Environment,
     num_map_tasks: int = 0,
-    calib: Calibration = Calibration(),
+    calib: Calibration | None = None,
 ) -> StageCost:
     """Compute the cost of ``stage`` under ``config`` on ``cluster``.
 
@@ -108,6 +108,8 @@ def compute_stage_cost(
     data) and ``num_map_tasks`` the upstream map-output count (for stages
     that read a shuffle).
     """
+    if calib is None:
+        calib = Calibration()
     if grant.executors < 1:
         raise ValueError("cannot cost a stage with zero granted executors")
 

@@ -1,7 +1,14 @@
 """Configuration tuners: every strategy the paper surveys, one interface."""
 
 from .aroma import AromaTuner, KernelRidgeRegressor, WorkloadCorpus
-from .base import Observation, SimulationObjective, Tuner, TuningResult, run_tuner
+from .base import (
+    Observation,
+    SimulationObjective,
+    Tuner,
+    TuningResult,
+    run_tuner,
+    run_tuner_batched,
+)
 from .bestconfig import BestConfigTuner
 from .bo import AdditiveGPTuner, BayesOptTuner, GaussianProcess
 from .ernest import ErnestModel, ErnestTuner
@@ -20,6 +27,7 @@ __all__ = [
     "Observation",
     "TuningResult",
     "run_tuner",
+    "run_tuner_batched",
     "SimulationObjective",
     "RandomSearchTuner",
     "GridSearchTuner",

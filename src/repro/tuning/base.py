@@ -27,6 +27,7 @@ __all__ = [
     "TuningResult",
     "Tuner",
     "run_tuner",
+    "run_tuner_batched",
     "SimulationObjective",
 ]
 
@@ -100,11 +101,40 @@ class Tuner(ABC):
     def suggest(self) -> Configuration:
         """Propose the next configuration to evaluate."""
 
-    def observe(self, config: Configuration, cost: float) -> None:
-        """Record the measured cost of ``config``."""
+    def suggest_batch(self, k: int) -> list[Configuration]:
+        """Propose up to ``k`` configurations to evaluate together.
+
+        The default is ``k`` sequential :meth:`suggest` calls (correct
+        for stateless samplers; model-based tuners will propose
+        duplicates and should override).  Population tuners override
+        this to return their natural batch — which may be *shorter*
+        than ``k`` at a generation/round boundary, so the tuner sees
+        the results it needs before committing to the next round.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return [self.suggest() for _ in range(k)]
+
+    def observe(self, config: Configuration, cost: float,
+                succeeded: bool = True) -> Observation:
+        """Record the measured cost of ``config``; returns the record.
+
+        The returned :class:`Observation` is the single source of truth
+        shared with any :class:`TuningResult` tracking the campaign.
+        """
         if not np.isfinite(cost):
             raise ValueError(f"cost must be finite, got {cost}")
-        self.history.append(Observation(config, float(cost)))
+        obs = Observation(config, float(cost), succeeded=bool(succeeded))
+        self.history.append(obs)
+        return obs
+
+    def observe_batch(self, observations) -> list[Observation]:
+        """Record a batch of ``(config, cost)`` or ``(config, cost, succeeded)``."""
+        out = []
+        for entry in observations:
+            config, cost, *rest = entry
+            out.append(self.observe(config, cost, *rest))
+        return out
 
     @property
     def best(self) -> Observation | None:
@@ -117,17 +147,62 @@ class Tuner(ABC):
         return type(self).__name__
 
 
+def _call_succeeded(objective) -> bool:
+    """Success of the objective's most recent evaluation, if it exposes one."""
+    result = getattr(objective, "last_result", None)
+    return bool(getattr(result, "success", True))
+
+
 def run_tuner(tuner: Tuner, objective: Callable[[Configuration], float],
               budget: int) -> TuningResult:
-    """Drive ``tuner`` against ``objective`` for ``budget`` evaluations."""
+    """Drive ``tuner`` against ``objective`` for ``budget`` evaluations.
+
+    The returned result shares its :class:`Observation` records with
+    ``tuner.history`` — one source of truth, including the ``succeeded``
+    flag when the objective exposes its last execution result.
+    """
     if budget < 1:
         raise ValueError("budget must be >= 1")
     result = TuningResult()
     for _ in range(budget):
         config = tuner.suggest()
         cost = objective(config)
-        tuner.observe(config, cost)
-        result.history.append(Observation(config, cost))
+        obs = tuner.observe(config, cost, succeeded=_call_succeeded(objective))
+        result.history.append(obs)
+    return result
+
+
+def run_tuner_batched(tuner: Tuner, objective, budget: int,
+                      batch_size: int = 8) -> TuningResult:
+    """Drive ``tuner`` in batches of up to ``batch_size`` suggestions.
+
+    ``objective`` may be a plain callable or expose
+    ``evaluate_batch(configs) -> list[(cost, succeeded)]`` (the
+    :class:`repro.engine.EvaluationEngine` adapter protocol), in which
+    case whole batches are dispatched at once — memoized, and optionally
+    evaluated by parallel workers.
+    """
+    if budget < 1:
+        raise ValueError("budget must be >= 1")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    result = TuningResult()
+    evaluate_batch = getattr(objective, "evaluate_batch", None)
+    remaining = budget
+    while remaining > 0:
+        configs = tuner.suggest_batch(min(batch_size, remaining))
+        if not configs:
+            raise RuntimeError(f"{tuner.name}.suggest_batch returned no configurations")
+        configs = configs[:remaining]
+        if evaluate_batch is not None:
+            outcomes = evaluate_batch(configs)
+        else:
+            outcomes = [
+                (objective(c), _call_succeeded(objective)) for c in configs
+            ]
+        for config, (cost, succeeded) in zip(configs, outcomes):
+            result.history.append(tuner.observe(config, cost, succeeded=succeeded))
+        remaining -= len(configs)
     return result
 
 

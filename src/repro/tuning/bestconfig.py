@@ -72,6 +72,21 @@ class BestConfigTuner(Tuner):
             self._pending = self._dds_batch()
         return self._pending.pop()
 
+    def suggest_batch(self, k: int) -> list[Configuration]:
+        """Native batch: the rest of the current DDS round (≤ k).
+
+        Stops at the round boundary so every round's results are known
+        before RBS decides whether to bound or re-diverge.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if not self._pending:
+            if self.history:
+                self._finish_round()
+            self._pending = self._dds_batch()
+        take = min(k, len(self._pending))
+        return [self._pending.pop() for _ in range(take)]
+
     @property
     def current_radius(self) -> float:
         return self._radius

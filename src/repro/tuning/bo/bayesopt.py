@@ -34,6 +34,10 @@ class BayesOptTuner(Tuner):
     log_costs:
         Model ``log(cost)`` instead of cost; robust to the orders-of-
         magnitude spread misconfigurations produce.
+    refit_every:
+        Re-optimize GP hyperparameters every this many new observations.
+        Between refits, new points enter the model through an O(n²)
+        rank-1 Cholesky update instead of an O(n³) refactorization.
     warm_start:
         Optional list of ``(config, cost)`` pairs injected into the model
         before any suggestion — the transfer-learning hook used by the
@@ -44,7 +48,7 @@ class BayesOptTuner(Tuner):
                  n_init: int = 8, acquisition: str = "ei",
                  kernel: Kernel | None = None,
                  n_candidates: int = 512, log_costs: bool = True,
-                 refit_every: int = 1,
+                 refit_every: int = 4,
                  warm_start: list[tuple[Configuration, float]] | None = None):
         super().__init__(space, seed)
         if acquisition not in ("ei", "lcb"):
@@ -59,6 +63,7 @@ class BayesOptTuner(Tuner):
         self._init_points = space.latin_hypercube(n_init, self.rng)
         self._gp = GaussianProcess(kernel=kernel or Matern52(), seed=seed)
         self._fitted_at = 0
+        self._gp_rows = 0               # observations currently inside the GP
         self._warm: list[tuple[Configuration, float]] = list(warm_start or [])
         self.last_max_ei: float | None = None
 
@@ -73,10 +78,19 @@ class BayesOptTuner(Tuner):
 
     def _refit(self) -> None:
         X, y = self._training_data()
-        optimize = (len(y) - self._fitted_at) >= self.refit_every or self._fitted_at == 0
-        self._gp.fit(X, y, optimize_hyperparams=optimize)
-        if optimize:
-            self._fitted_at = len(y)
+        n = len(y)
+        optimize = (n - self._fitted_at) >= self.refit_every or self._fitted_at == 0
+        if optimize or self._gp_rows == 0 or self._gp_rows > n:
+            # Full (re)fit: refactorize and, on schedule, re-optimize
+            # hyperparameters.
+            self._gp.fit(X, y, optimize_hyperparams=optimize)
+            if optimize:
+                self._fitted_at = n
+        elif self._gp_rows < n:
+            # Between refits, fold new observations in with a rank-1
+            # Cholesky update (training pairs are append-only).
+            self._gp.update(X[self._gp_rows:], y[self._gp_rows:])
+        self._gp_rows = n
 
     def _candidates(self) -> np.ndarray:
         cands = [self.rng.random((self.n_candidates, self.space.dimension))]

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 from scipy import optimize
+from scipy.linalg import solve_triangular
 
 from .kernels import Kernel, Matern52
 
@@ -65,7 +66,7 @@ class GaussianProcess:
             L = self._chol(X, theta)
         except np.linalg.LinAlgError:
             return 1e10
-        alpha = np.linalg.solve(L.T, np.linalg.solve(L, y))
+        alpha = solve_triangular(L.T, solve_triangular(L, y, lower=True), lower=False)
         nll = (
             0.5 * y @ alpha
             + np.sum(np.log(np.diag(L)))
@@ -106,7 +107,52 @@ class GaussianProcess:
         self._theta = best_theta
         self._X, self._y = X, yn
         self._L = self._chol(X, best_theta)
-        self._alpha = np.linalg.solve(self._L.T, np.linalg.solve(self._L, yn))
+        self._alpha = solve_triangular(
+            self._L.T, solve_triangular(self._L, yn, lower=True), lower=False
+        )
+        return self
+
+    @property
+    def n_observations(self) -> int:
+        return 0 if self._X is None else len(self._X)
+
+    def update(self, X_new: np.ndarray, y_new: np.ndarray) -> "GaussianProcess":
+        """Append observations with a rank-1 Cholesky extension.
+
+        Each appended point costs O(n²) (two triangular solves) instead
+        of the O(n³) full refactorization :meth:`fit` performs — the
+        difference between refitting a tuning surrogate once per
+        observation and once per batch.  Hyperparameters and the y
+        normalization constants stay frozen at their last :meth:`fit`
+        values; call :meth:`fit` periodically to re-optimize them.
+        """
+        if self._X is None:
+            raise ValueError("model is not fitted; call fit() before update()")
+        X_new = np.atleast_2d(np.asarray(X_new, dtype=float))
+        y_new = np.asarray(y_new, dtype=float).ravel()
+        if len(X_new) != len(y_new):
+            raise ValueError("X_new and y_new lengths differ")
+        if len(y_new) == 0:
+            return self
+        theta = self._theta
+        noise = np.exp(theta[-1]) + 1e-10
+        for x, yv in zip(X_new, y_new):
+            yn = (yv - self._y_mean) / self._y_std
+            k_vec = self.kernel(x[None, :], self._X, theta[:-1]).ravel()
+            b = solve_triangular(self._L, k_vec, lower=True)
+            d = float(self.kernel.diag(x[None, :], theta[:-1])[0] + noise - b @ b)
+            n = len(self._X)
+            L = np.zeros((n + 1, n + 1))
+            L[:n, :n] = self._L
+            L[n, :n] = b
+            # Numerical floor mirrors the jitter the full factorization uses.
+            L[n, n] = np.sqrt(max(d, 1e-10))
+            self._L = L
+            self._X = np.vstack([self._X, x[None, :]])
+            self._y = np.append(self._y, yn)
+        self._alpha = solve_triangular(
+            self._L.T, solve_triangular(self._L, self._y, lower=True), lower=False
+        )
         return self
 
     def predict(self, Xs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -116,7 +162,7 @@ class GaussianProcess:
         Xs = np.atleast_2d(np.asarray(Xs, dtype=float))
         Ks = self.kernel(Xs, self._X, self._theta[:-1])
         mean = Ks @ self._alpha
-        v = np.linalg.solve(self._L, Ks.T)
+        v = solve_triangular(self._L, Ks.T, lower=True)
         var = self.kernel.diag(Xs, self._theta[:-1]) - np.sum(v**2, axis=0)
         var = np.maximum(var, 1e-12)
         return (

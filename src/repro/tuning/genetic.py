@@ -83,10 +83,25 @@ class GeneticTuner(Tuner):
             self._next_generation()
         return self._population[self._cursor]
 
-    def observe(self, config: Configuration, cost: float) -> None:
-        super().observe(config, cost)
+    def suggest_batch(self, k: int) -> list[Configuration]:
+        """The un-evaluated remainder of the current generation (≤ k).
+
+        Stops at the generation boundary so the fitness of every
+        individual is known before selection breeds the next one.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if self._cursor >= len(self._population):
+            self._next_generation()
+        end = min(len(self._population), self._cursor + k)
+        return list(self._population[self._cursor:end])
+
+    def observe(self, config: Configuration, cost: float,
+                succeeded: bool = True):
+        obs = super().observe(config, cost, succeeded=succeeded)
         self._fitness.append(float(cost))
         self._cursor += 1
+        return obs
 
 
 class DACTuner(Tuner):

@@ -41,3 +41,15 @@ class GridSearchTuner(Tuner):
         except StopIteration:
             return self.space.sample_configuration(self.rng)
         return Configuration(dict(zip(self._names, values)))
+
+    def suggest_batch(self, k: int) -> list[Configuration]:
+        """Native batch: the next ``k`` grid points in one slice."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        batch = [
+            Configuration(dict(zip(self._names, values)))
+            for values in itertools.islice(self._product, k)
+        ]
+        while len(batch) < k:  # grid exhausted: pad with random samples
+            batch.append(self.space.sample_configuration(self.rng))
+        return batch

@@ -95,8 +95,9 @@ class HillClimbTuner(Tuner):
         self._pending = proposal
         return proposal
 
-    def observe(self, config: Configuration, cost: float) -> None:
-        super().observe(config, cost)
+    def observe(self, config: Configuration, cost: float,
+                succeeded: bool = True):
+        obs = super().observe(config, cost, succeeded=succeeded)
         if self._current_cost is None or (
             config != self._current and cost < self._current_cost
         ):
@@ -105,9 +106,10 @@ class HillClimbTuner(Tuner):
             self._current_cost = cost
             if improved:
                 self._tried_since_improvement = 0
-                return
+                return obs
         else:
             self._advance_cursor(improved=False)
+        return obs
 
     def _advance_cursor(self, improved: bool) -> None:
         if improved:

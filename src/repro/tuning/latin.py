@@ -26,3 +26,19 @@ class LatinHypercubeTuner(Tuner):
         if not self._pending:
             self._pending = self.space.latin_hypercube(self.batch_size, self.rng)
         return self._pending.pop()
+
+    def suggest_batch(self, k: int) -> list[Configuration]:
+        """Native batch: one stratified design sized to the demand.
+
+        When no samples are pending and ``k`` covers a whole design, the
+        batch *is* a fresh ``k``-point Latin hypercube — better per-axis
+        coverage than ``k`` pops from ``batch_size``-point designs.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if not self._pending and k >= self.batch_size:
+            return self.space.latin_hypercube(k, self.rng)
+        if not self._pending:
+            self._pending = self.space.latin_hypercube(self.batch_size, self.rng)
+        take = min(k, len(self._pending))
+        return [self._pending.pop() for _ in range(take)]

@@ -23,3 +23,16 @@ class RandomSearchTuner(Tuner):
             self._first = False
             return self.space.default_configuration()
         return self.space.sample_configuration(self.rng)
+
+    def suggest_batch(self, k: int) -> list[Configuration]:
+        """Native batch: the default (once) plus independent samples."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        batch: list[Configuration] = []
+        if self._first:
+            self._first = False
+            batch.append(self.space.default_configuration())
+        batch.extend(
+            self.space.sample_configurations(k - len(batch), self.rng)
+        )
+        return batch

@@ -84,12 +84,13 @@ class QLearningTuner(Tuner):
         self._pending = proposal
         return proposal
 
-    def observe(self, config: Configuration, cost: float) -> None:
-        super().observe(config, cost)
+    def observe(self, config: Configuration, cost: float,
+                succeeded: bool = True):
+        obs = super().observe(config, cost, succeeded=succeeded)
         if self._baseline_cost is None:
             self._baseline_cost = cost
             self._last_cost = cost
-            return
+            return obs
         reward = (self._last_cost - cost) / self._last_cost
         if self._last_action is not None and self._last_state is not None:
             next_state = self._state(cost)
@@ -102,3 +103,4 @@ class QLearningTuner(Tuner):
             self._last_cost = cost
         else:
             self._last_cost = cost if self.rng.random() < 0.3 else self._last_cost
+        return obs

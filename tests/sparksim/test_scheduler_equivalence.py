@@ -1,0 +1,66 @@
+"""Property tests: the vectorized list scheduler is exact.
+
+The chunked numpy `_list_schedule` must return bit-identical makespans to
+the reference heap implementation for every input — it is a hot-path
+optimisation, not an approximation.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparksim.scheduler import (
+    _MIN_VECTOR_SLOTS,
+    _list_schedule,
+    _list_schedule_heap,
+)
+
+durations = st.lists(
+    st.floats(min_value=1e-3, max_value=1e4, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=400,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(durations, st.integers(min_value=1, max_value=300))
+def test_vectorized_matches_heap_exactly(tasks, slots):
+    d = np.asarray(tasks, dtype=float)
+    assert _list_schedule(d, slots) == _list_schedule_heap(d, slots)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=_MIN_VECTOR_SLOTS, max_value=256),
+    st.integers(min_value=1, max_value=2000),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_vectorized_path_matches_heap_at_scale(slots, n_tasks, seed):
+    # Force the vectorized code path (slots >= _MIN_VECTOR_SLOTS) on
+    # skewed workloads: a log-uniform body plus occasional stragglers.
+    rng = np.random.default_rng(seed)
+    d = np.exp(rng.uniform(-3, 3, n_tasks))
+    stragglers = rng.random(n_tasks) < 0.02
+    d[stragglers] *= 50.0
+    assert _list_schedule(d, slots) == _list_schedule_heap(d, slots)
+
+
+@settings(max_examples=100, deadline=None)
+@given(durations, st.integers(min_value=1, max_value=300))
+def test_greedy_makespan_bounds(tasks, slots):
+    d = np.asarray(tasks, dtype=float)
+    m = _list_schedule(d, slots)
+    lower = max(float(d.max()), float(d.sum()) / slots)
+    assert m >= lower - 1e-9 * max(1.0, lower)
+    assert m <= float(d.sum()) / slots + float(d.max()) + 1e-9
+
+
+def test_ties_and_equal_durations():
+    d = np.full(500, 3.0)
+    assert _list_schedule(d, 32) == _list_schedule_heap(d, 32)
+
+
+def test_descending_and_ascending_orders():
+    base = np.exp(np.linspace(-2, 2, 777))
+    for d in (base, base[::-1].copy()):
+        assert _list_schedule(d, 48) == _list_schedule_heap(d, 48)

@@ -137,3 +137,63 @@ class TestAcquisitions:
     def test_lcb_rejects_negative_kappa(self):
         with pytest.raises(ValueError):
             lower_confidence_bound(np.ones(1), np.ones(1), kappa=-1)
+
+
+class TestIncrementalUpdate:
+    """`update()` must match an exact refactorization at frozen theta."""
+
+    def _posterior_reference(self, gp, X_all, y_all, X_query):
+        # Exact GP posterior at the incremental model's frozen
+        # hyperparameters and y-normalization constants.
+        theta = gp.theta
+        noise = np.exp(theta[-1]) + 1e-10
+        yn = (y_all - gp._y_mean) / gp._y_std
+        K = gp.kernel(X_all, X_all, theta[:-1])
+        K[np.diag_indices_from(K)] += noise
+        L = np.linalg.cholesky(K)
+        alpha = np.linalg.solve(K, yn)
+        Ks = gp.kernel(X_query, X_all, theta[:-1])
+        mean = Ks @ alpha
+        v = np.linalg.solve(L, Ks.T)
+        var = np.maximum(gp.kernel.diag(X_query, theta[:-1]) - (v**2).sum(0), 1e-12)
+        return mean * gp._y_std + gp._y_mean, np.sqrt(var) * gp._y_std
+
+    def test_update_matches_full_refactorization(self, rng):
+        def f(X):
+            return np.sin(3 * X[:, 0]) + X[:, 1] ** 2
+
+        X0, X1 = rng.random((12, 2)), rng.random((7, 2))
+        y0, y1 = f(X0), f(X1)
+        gp = GaussianProcess(kernel=Matern52(), seed=0).fit(X0, y0)
+        gp.update(X1, y1)
+        assert gp.n_observations == 19
+
+        Xq = rng.random((25, 2))
+        mean, std = gp.predict(Xq)
+        ref_mean, ref_std = self._posterior_reference(
+            gp, np.vstack([X0, X1]), np.append(y0, y1), Xq
+        )
+        assert np.allclose(mean, ref_mean, atol=1e-8)
+        assert np.allclose(std, ref_std, atol=1e-6)
+
+    def test_update_one_at_a_time_matches_batch_update(self, rng):
+        X0 = rng.random((10, 2))
+        y0 = X0.sum(axis=1)
+        X1 = rng.random((5, 2))
+        y1 = X1.sum(axis=1)
+        a = GaussianProcess(kernel=RBF(), seed=1).fit(X0, y0).update(X1, y1)
+        b = GaussianProcess(kernel=RBF(), seed=1).fit(X0, y0)
+        for x, yv in zip(X1, y1):
+            b.update(x[None, :], [yv])
+        Xq = rng.random((8, 2))
+        for (ma, sa), (mb, sb) in [(a.predict(Xq), b.predict(Xq))]:
+            assert np.allclose(ma, mb) and np.allclose(sa, sb)
+
+    def test_update_requires_fit(self):
+        with pytest.raises(ValueError):
+            GaussianProcess().update(np.zeros((1, 2)), [0.0])
+
+    def test_update_rejects_length_mismatch(self, rng):
+        gp = GaussianProcess().fit(rng.random((4, 2)), rng.random(4))
+        with pytest.raises(ValueError):
+            gp.update(rng.random((2, 2)), [1.0])
