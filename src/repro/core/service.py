@@ -61,13 +61,24 @@ class Deployment:
 
 @dataclass(frozen=True)
 class ProductionRun:
-    """One production execution plus any service action taken."""
+    """One production execution plus any service action taken.
+
+    The failure-policy fields audit how the service treated the run:
+    whether its runtime entered the drift detector (only successful runs
+    do — a crash's penalized runtime would poison the statistics), the
+    consecutive-failure count after this run, and why a re-tune fired
+    (``"drift"`` from the detector, ``"failures"`` from the
+    consecutive-failure policy, or ``None``).
+    """
 
     index: int
     runtime_s: float
     success: bool
     input_mb: float
     retuned: bool
+    detector_fed: bool = False
+    consecutive_failures: int = 0
+    retune_reason: str | None = None
 
 
 class TuningService:
@@ -96,7 +107,12 @@ class TuningService:
         #: all exploratory executions ride one engine, so identical
         #: candidates across sessions and tenants are answered from the
         #: memoization cache — the provider amortizes tuning cost
-        #: (paper principle 3) and the counters quantify it.
+        #: (paper principle 3) and the counters quantify it.  Caveat:
+        #: with ``interference_level > 0`` each evaluation samples its
+        #: own environment, and the environment is part of the cache
+        #: key, so cross-session repeats of a candidate re-simulate;
+        #: the engine's ``n_env_distinct_misses`` counter measures that
+        #: lost amortization.
         self.engine = engine or EvaluationEngine(
             simulator=self.simulator, executor=executor,
             max_workers=max_workers,
@@ -129,13 +145,17 @@ class TuningService:
             # cluster: stage 1 compares clusters, not crash behaviour.
             repair=True,
         )
-        tuner = BayesOptTuner(self.cloud_space, seed=seed, n_init=min(6, budget))
+        n_init = min(6, budget)
+        tuner = BayesOptTuner(self.cloud_space, seed=seed, n_init=n_init)
         evaluations = 0
         for i in range(budget):
             config = tuner.suggest()
             tuner.observe(config, objective(config))
             evaluations += 1
-            if i >= 6 and tuner.should_stop(0.05):
+            # Consult the EI stop rule as soon as the initial design is
+            # observed — n_init is the tuner's actual design size, not a
+            # hard-coded 6, so small budgets get the rule too.
+            if evaluations >= n_init and tuner.should_stop(0.05):
                 break
         best = tuner.best.config
         cluster = Cluster.of(best["cloud.instance_type"], int(best["cloud.cluster_size"]))
@@ -152,7 +172,10 @@ class TuningService:
             self.engine, workload, input_mb, cluster=cluster,
             interference=self.interference, ledger=self.ledger,
             # Service-level seed + per-config noise: identical candidates
-            # across sessions/tenants are cache hits (amortization).
+            # across sessions/tenants are cache hits (amortization) — in
+            # quiet environments; under interference the sampled env joins
+            # the cache key and such repeats re-simulate (tracked by the
+            # engine's n_env_distinct_misses counter).
             seed=self.seed,
             # The service repairs obviously-unsatisfiable executor sizing
             # before launching (a competent operator never requests 4-core
@@ -282,11 +305,26 @@ class TuningService:
     # --- principle 2: production monitoring + auto re-tuning ----------------
     def run_production(self, deployment: Deployment, input_sizes_mb,
                        detector: DriftDetector | None = None,
-                       retune_budget: int = 15) -> list[ProductionRun]:
-        """Run recurring executions, re-tuning when drift is detected."""
+                       retune_budget: int = 15,
+                       max_consecutive_failures: int = 3) -> list[ProductionRun]:
+        """Run recurring executions, re-tuning when drift is detected.
+
+        Failure policy: the drift detector sees the *raw runtimes of
+        successful runs only*.  Feeding it a crash's penalized
+        ``effective_runtime`` (floored at an hour) would poison its
+        statistics and fire a false re-tune on the very next sample.
+        Crashes are handled explicitly instead: ``max_consecutive_failures``
+        failed runs in a row trigger an immediate re-tune (the deployed
+        configuration is evidently broken for the current conditions) and
+        re-baseline the detector.  Every run's treatment is audited on its
+        :class:`ProductionRun`.
+        """
         detector = detector or PageHinkleyDetector()
+        if max_consecutive_failures < 1:
+            raise ValueError("max_consecutive_failures must be >= 1")
         runs: list[ProductionRun] = []
         seed = self._next_seed()
+        consecutive_failures = 0
         for i, input_mb in enumerate(input_sizes_mb):
             env = self.interference.step() if self.interference else QUIET
             result = self.simulator.run(
@@ -299,9 +337,18 @@ class TuningService:
                 deployment.cluster.describe(), deployment.config, result,
                 signature(result),
             )
-            retuned = False
-            runtime = result.effective_runtime()
-            if detector.update(runtime):
+            retune_reason = None
+            detector_fed = False
+            if result.success:
+                consecutive_failures = 0
+                detector_fed = True
+                if detector.update(result.runtime_s):
+                    retune_reason = "drift"
+            else:
+                consecutive_failures += 1
+                if consecutive_failures >= max_consecutive_failures:
+                    retune_reason = "failures"
+            if retune_reason is not None:
                 session, _ = self.tune_disc(
                     deployment.tenant, deployment.workload_label,
                     deployment.workload, input_mb, deployment.cluster,
@@ -313,9 +360,17 @@ class TuningService:
                 deployment.expected_runtime_s = session.result.best_cost
                 deployment.input_mb = input_mb
                 deployment.retuned_count += 1
-                retuned = True
+                if retune_reason == "failures":
+                    # The detector re-baselines after any re-tune; a
+                    # drift alarm already reset it internally.
+                    detector.reset()
             runs.append(ProductionRun(
                 index=i, runtime_s=result.runtime_s, success=result.success,
-                input_mb=input_mb, retuned=retuned,
+                input_mb=input_mb, retuned=retune_reason is not None,
+                detector_fed=detector_fed,
+                consecutive_failures=consecutive_failures,
+                retune_reason=retune_reason,
             ))
+            if retune_reason == "failures":
+                consecutive_failures = 0
         return runs

@@ -3,6 +3,7 @@
 from .cache import CacheStats, EvaluationCache, config_fingerprint
 from .engine import EngineObjective, EvalRecord, EvalRequest, EvaluationEngine
 from .executors import ParallelExecutor, SerialExecutor, default_worker_count
+from .retry import FailureCounters, RetryError, RetryPolicy
 
 __all__ = [
     "CacheStats",
@@ -15,4 +16,7 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "default_worker_count",
+    "RetryPolicy",
+    "RetryError",
+    "FailureCounters",
 ]

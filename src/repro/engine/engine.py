@@ -17,7 +17,7 @@ results whether it runs serially or across workers.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..cloud.cluster import Cluster
 from ..cloud.interference import QUIET, Environment
@@ -28,6 +28,7 @@ from ..sparksim.simulator import SparkSimulator
 from ..tuning.base import SimulationObjective
 from .cache import CacheStats, EvaluationCache, config_fingerprint
 from .executors import ParallelExecutor, SerialExecutor
+from .retry import FailureCounters, RetryError, RetryPolicy
 
 __all__ = ["EvalRequest", "EvalRecord", "EvaluationEngine", "EngineObjective"]
 
@@ -42,6 +43,10 @@ class EvalRequest:
     config: Configuration            # full Spark config, already resolved
     env: Environment = QUIET
     seed: int = 0
+    #: dispatch attempt (0 = first try).  Deliberately NOT part of the
+    #: cache key: results are pure functions of the request identity, so
+    #: a retried request must answer — and memoize — identically.
+    attempt: int = 0
 
     def cache_key(self) -> tuple:
         return (
@@ -75,6 +80,11 @@ class EvaluationEngine:
         ``run_batch(requests) -> list[ExecutionResult]``.
     cache_size:
         LRU capacity; 0 disables memoization entirely.
+    retry:
+        :class:`~repro.engine.retry.RetryPolicy` governing how dispatch
+        failures (worker crashes, broken pools, timeouts) are retried and
+        when the engine degrades to serial execution.  On by default;
+        pass ``None`` to fail fast on the first executor error.
     """
 
     def __init__(self, simulator: SparkSimulator | None = None,
@@ -82,7 +92,8 @@ class EvaluationEngine:
                  max_workers: int | None = None,
                  cache_size: int = 4096,
                  calibration: Calibration | None = None,
-                 noise: bool = True):
+                 noise: bool = True,
+                 retry: RetryPolicy | None = RetryPolicy()):
         if simulator is None:
             simulator = SparkSimulator(calibration=calibration, noise=noise)
         self.simulator = simulator
@@ -93,6 +104,7 @@ class EvaluationEngine:
                 max_workers=max_workers,
                 calibration=simulator.calibration,
                 noise=simulator.noise,
+                fault_plan=simulator.fault_plan,
             )
         elif hasattr(executor, "run_batch"):
             self._executor = executor
@@ -100,18 +112,28 @@ class EvaluationEngine:
             raise ValueError(
                 "executor must be 'serial', 'process', or expose run_batch()"
             )
+        self.retry = retry
         self.cache = EvaluationCache(capacity=cache_size) if cache_size else None
+        self.failures = FailureCounters()
         self.n_evaluated = 0         # simulations actually run (cache misses)
         self.n_requested = 0         # total requests answered
+        #: misses whose identity differs from a previously-seen request
+        #: *only* by environment — the amortization the cross-tenant cache
+        #: cannot deliver under interference (env is part of the key)
+        self.n_env_distinct_misses = 0
+        self._env_free_keys: set[tuple] = set()
+        self._pool_failures = 0      # consecutive pool-level dispatch failures
 
     @property
     def stats(self) -> CacheStats:
         return self.cache.stats if self.cache is not None else CacheStats()
 
     def counters(self) -> dict[str, float]:
-        """Flat snapshot of the engine's hit/miss/latency counters."""
+        """Flat snapshot: hit/miss/latency plus failure/retry/degradation."""
         snap = self.stats.snapshot()
-        snap.update(n_requested=self.n_requested, n_evaluated=self.n_evaluated)
+        snap.update(n_requested=self.n_requested, n_evaluated=self.n_evaluated,
+                    n_env_distinct_misses=self.n_env_distinct_misses)
+        snap.update(self.failures.snapshot())
         return snap
 
     # --- evaluation ----------------------------------------------------------
@@ -137,12 +159,14 @@ class EvaluationEngine:
             if hit is not None:
                 records[i] = EvalRecord(req, hit, cached=True, latency_s=0.0)
             else:
+                if key not in miss_of_key:
+                    self._note_env_distinct(key)
                 miss_of_key.setdefault(key, []).append(i)
 
         if miss_of_key:
             unique = [requests[slots[0]] for slots in miss_of_key.values()]
             start = time.perf_counter()
-            results = self._executor.run_batch(unique)
+            results = self._dispatch(unique)
             elapsed = time.perf_counter() - start
             per_request = elapsed / len(unique)
             self.n_evaluated += len(unique)
@@ -156,6 +180,126 @@ class EvaluationEngine:
                         cached=(i != first), latency_s=per_request,
                     )
         return records  # type: ignore[return-value]
+
+    def _note_env_distinct(self, key: tuple) -> None:
+        """Count misses that repeat a known request in a new environment.
+
+        Under interference, ``env`` is part of the cache key, so the
+        cross-tenant amortization story breaks: the same candidate
+        re-proposed under different cloud weather re-simulates.  This
+        counter quantifies exactly that lost amortization.  (A full key
+        evicted from the LRU and re-missed counts too — rare at default
+        capacity, and still a genuine re-simulation.)
+        """
+        env_free = key[:4] + (key[5],)      # identity minus the env slot
+        if env_free in self._env_free_keys:
+            self.n_env_distinct_misses += 1
+        elif len(self._env_free_keys) < 65536:   # bounded diagnostic index
+            self._env_free_keys.add(env_free)
+
+    # --- fault-tolerant dispatch --------------------------------------------
+    def _dispatch(self, requests) -> list[ExecutionResult]:
+        """Run cache-miss requests through the executor, surviving failures.
+
+        Each attempt re-dispatches only the requests that never produced
+        a result; results are pure functions of the request (the
+        ``attempt`` field is excluded from identity), so retries cannot
+        change observations.  Broken pools are rebuilt, and repeated
+        pool-level failures downgrade the engine to serial execution.
+        """
+        if self.retry is None:
+            return self._executor.run_batch(requests)
+        policy = self.retry
+        results: list = [None] * len(requests)
+        pending = list(range(len(requests)))
+        for attempt in range(policy.max_attempts):
+            batch = [
+                replace(requests[i], attempt=attempt) if attempt else requests[i]
+                for i in pending
+            ]
+            partial, error = self._run_attempt(batch, policy.batch_timeout_s)
+            still_pending = []
+            for slot, result in zip(pending, partial):
+                if result is None:
+                    still_pending.append(slot)
+                else:
+                    results[slot] = result
+            if not still_pending:
+                return results
+            pending = still_pending
+            self.failures.n_failures += len(pending)
+            if isinstance(error, TimeoutError):
+                self.failures.n_timeouts += 1
+            if error is not None:
+                self._handle_pool_failure()
+            if attempt + 1 < policy.max_attempts:
+                self.failures.n_retries += len(pending)
+                time.sleep(policy.backoff_s(attempt, token=len(pending)))
+        # Attempts exhausted.  Last resort: answer the stragglers on the
+        # in-process serial executor (a permanent downgrade), so a sick
+        # harness degrades the engine instead of aborting the session.
+        self.failures.n_exhausted += len(pending)
+        self._degrade_to_serial()
+        fallback = [
+            replace(requests[i], attempt=policy.max_attempts) for i in pending
+        ]
+        try:
+            answered = self._executor.run_batch(fallback)
+        except Exception as exc:
+            raise RetryError(
+                f"{len(pending)} request(s) failed after "
+                f"{policy.max_attempts} attempt(s) and the serial fallback"
+            ) from exc
+        for slot, result in zip(pending, answered):
+            results[slot] = result
+        return results
+
+    def _run_attempt(self, batch, timeout_s):
+        """One dispatch attempt: failed slots come back ``None`` + first error."""
+        partial_fn = getattr(self._executor, "run_batch_partial", None)
+        if partial_fn is not None:
+            try:
+                return partial_fn(batch, timeout_s=timeout_s)
+            except Exception as exc:
+                return [None] * len(batch), exc
+        try:
+            return list(self._executor.run_batch(batch)), None
+        except Exception as exc:
+            if len(batch) == 1:
+                return [None], exc
+        # Whole batch failed on an executor without partial support:
+        # isolate per request so one poisoned request cannot sink the rest.
+        results, error = [], None
+        for request in batch:
+            try:
+                results.append(self._executor.run_batch([request])[0])
+            except Exception as exc:
+                if error is None:
+                    error = exc
+                results.append(None)
+        return results, error
+
+    def _handle_pool_failure(self) -> None:
+        """Rebuild a broken pool; degrade to serial once failures repeat."""
+        if not hasattr(self._executor, "rebuild"):
+            return
+        self._pool_failures += 1
+        if self._pool_failures >= self.retry.degrade_after:
+            self._degrade_to_serial()
+        else:
+            self._executor.rebuild()
+            self.failures.n_pool_rebuilds += 1
+
+    def _degrade_to_serial(self) -> None:
+        """One-way downgrade to in-process execution (counted, auditable)."""
+        if isinstance(self._executor, SerialExecutor):
+            return
+        try:
+            self._executor.close()
+        except Exception:
+            pass                     # a broken pool may refuse clean shutdown
+        self._executor = SerialExecutor(self.simulator)
+        self.failures.n_degraded += 1
 
     def close(self) -> None:
         self._executor.close()

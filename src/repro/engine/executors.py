@@ -7,26 +7,50 @@ every request carries its own noise seed and the simulator derives all
 randomness from it, the results are bit-identical whether a batch runs
 serially in-process or fanned out across worker processes — parallelism
 changes wall-clock, never observations.
+
+Failure surface: :class:`ParallelExecutor` additionally exposes
+``run_batch_partial`` (per-chunk futures, so a crashed worker loses only
+its own chunk while completed chunks keep their results) and
+``rebuild()`` (tear down a broken pool and start a fresh one) — the two
+hooks :mod:`repro.engine.retry`-driven dispatch needs to survive
+``BrokenProcessPool`` without aborting the batch.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, wait
 
 from ..sparksim.costmodel import Calibration
+from ..sparksim.faults import FaultPlan
 from ..sparksim.simulator import SparkSimulator
 
 __all__ = ["SerialExecutor", "ParallelExecutor", "default_worker_count"]
 
+#: workers beyond this stop paying for simulated executions (milliseconds
+#: each) and start costing fork + pickle overhead on big hosts
+DEFAULT_WORKER_CAP = 8
 
-def default_worker_count() -> int:
-    """Sensible worker count: the machine's cores, capped for tiny hosts."""
-    return max(1, os.cpu_count() or 1)
+
+def default_worker_count(cap: int = DEFAULT_WORKER_CAP) -> int:
+    """Sensible worker count: the machine's cores, capped at ``cap``.
+
+    Tiny hosts still get at least one worker; big hosts are capped so a
+    128-core box does not fork 128 simulator processes for
+    millisecond-scale tasks.  Pass a larger ``cap`` to override.
+    """
+    if cap < 1:
+        raise ValueError("cap must be >= 1")
+    return max(1, min(os.cpu_count() or 1, cap))
 
 
 class SerialExecutor:
-    """Run every request in-process on one simulator (the baseline)."""
+    """Run every request in-process on one simulator (the baseline).
+
+    Ignores ``worker_crash`` faults by construction: those model pool
+    workers dying, and there is no pool here — which is exactly why the
+    engine degrades to this executor when pools keep breaking.
+    """
 
     def __init__(self, simulator: SparkSimulator | None = None):
         self.simulator = simulator or SparkSimulator()
@@ -49,16 +73,35 @@ class SerialExecutor:
 _WORKER_SIMULATOR: SparkSimulator | None = None
 
 
-def _init_worker(calibration: Calibration | None, noise: bool) -> None:
+def _init_worker(calibration: Calibration | None, noise: bool,
+                 fault_plan: FaultPlan | None = None) -> None:
     global _WORKER_SIMULATOR
-    _WORKER_SIMULATOR = SparkSimulator(calibration=calibration, noise=noise)
+    _WORKER_SIMULATOR = SparkSimulator(
+        calibration=calibration, noise=noise, fault_plan=fault_plan,
+    )
 
 
 def _run_one(request):
+    plan = _WORKER_SIMULATOR.fault_plan
+    if (
+        plan is not None
+        and getattr(request, "attempt", 0) == 0
+        and plan.draw(request.seed).crash_worker
+    ):
+        # Injected infrastructure fault: die like a real OOM-killed or
+        # segfaulted worker — no exception, no cleanup — so the parent
+        # sees a genuine BrokenProcessPool.  First attempt only: the
+        # retried request (attempt > 0) computes the true result, keeping
+        # recovered histories bit-identical to fault-free runs.
+        os._exit(13)
     return _WORKER_SIMULATOR.run(
         request.workload, request.input_mb, request.cluster, request.config,
         env=request.env, seed=request.seed,
     )
+
+
+def _run_chunk(requests):
+    return [_run_one(r) for r in requests]
 
 
 class ParallelExecutor:
@@ -67,24 +110,84 @@ class ParallelExecutor:
     Workers are seeded per-request, so results are bit-identical to
     :class:`SerialExecutor` for the same batch.  Requests are chunked to
     amortize pickling overhead — simulated executions are only
-    milliseconds each, so per-task dispatch would dominate.
+    milliseconds each, so per-task dispatch would dominate — and each
+    chunk is its own future, so a worker crash forfeits one chunk's
+    results, not the whole batch.
     """
 
     def __init__(self, max_workers: int | None = None,
-                 calibration: Calibration | None = None, noise: bool = True):
+                 calibration: Calibration | None = None, noise: bool = True,
+                 fault_plan: FaultPlan | None = None):
         self.max_workers = max_workers or default_worker_count()
-        self._pool = ProcessPoolExecutor(
+        self._calibration = calibration
+        self._noise = noise
+        self._fault_plan = fault_plan
+        self._pool = self._new_pool()
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
             max_workers=self.max_workers,
             initializer=_init_worker,
-            initargs=(calibration, noise),
+            initargs=(self._calibration, self._noise, self._fault_plan),
         )
 
+    def rebuild(self) -> None:
+        """Replace a (possibly broken) pool with a fresh one."""
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = self._new_pool()
+
     def run_batch(self, requests) -> list:
+        results, error = self.run_batch_partial(requests)
+        if error is not None:
+            raise error
+        return results
+
+    def run_batch_partial(
+        self, requests, timeout_s: float | None = None,
+    ) -> tuple[list, Exception | None]:
+        """Run ``requests``; failed/unfinished slots come back as ``None``.
+
+        Returns ``(results, first_error)`` where ``results`` aligns with
+        ``requests``.  A broken pool fails only the chunks that had not
+        completed; a ``timeout_s`` deadline fails whatever is still
+        pending when it expires (reported as a ``TimeoutError``).
+        """
         requests = list(requests)
         if not requests:
-            return []
+            return [], None
         chunksize = max(1, len(requests) // (self.max_workers * 4))
-        return list(self._pool.map(_run_one, requests, chunksize=chunksize))
+        chunks = [
+            requests[i:i + chunksize]
+            for i in range(0, len(requests), chunksize)
+        ]
+        futures, error = [], None
+        for chunk in chunks:
+            try:
+                futures.append(self._pool.submit(_run_chunk, chunk))
+            except Exception as exc:   # pool already broken / shut down
+                error = error or exc
+                futures.append(None)
+        # A broken pool settles every future immediately, so waiting for
+        # all of them never blocks on a crash — only on a real deadline.
+        live = [f for f in futures if f is not None]
+        _, not_done = wait(live, timeout=timeout_s) if live else (set(), set())
+        if not_done:
+            error = error or TimeoutError(
+                f"{len(not_done)} chunk(s) unfinished after {timeout_s}s"
+            )
+        results: list = []
+        for chunk, future in zip(chunks, futures):
+            if future is None or future in not_done:
+                if future is not None:
+                    future.cancel()
+                results.extend([None] * len(chunk))
+                continue
+            try:
+                results.extend(future.result(timeout=0))
+            except Exception as exc:
+                error = error or exc
+                results.extend([None] * len(chunk))
+        return results, error
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)

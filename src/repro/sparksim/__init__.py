@@ -4,6 +4,16 @@ from .costmodel import Calibration, StageCost, TaskCost, compute_stage_cost, wit
 from .dag import CacheRegistry, JobPlan, StageProfile, compile_job
 from .eventlog import event_lines, read_event_log, write_event_log
 from .executor import ExecutorModel
+from .faults import (
+    FaultDraw,
+    FaultPlan,
+    FaultSpec,
+    env_spike,
+    executor_loss,
+    oom_kill,
+    straggler,
+    worker_crash,
+)
 from .memory import CachePlan, SpillOutcome, gc_fraction, plan_cache, spill_outcome
 from .metrics import ExecutionResult, StageMetrics, TaskMetrics
 from .rdd import RDD, Job
@@ -19,6 +29,14 @@ __all__ = [
     "CacheRegistry",
     "compile_job",
     "ExecutorModel",
+    "FaultSpec",
+    "FaultDraw",
+    "FaultPlan",
+    "executor_loss",
+    "straggler",
+    "oom_kill",
+    "env_spike",
+    "worker_crash",
     "CachePlan",
     "SpillOutcome",
     "plan_cache",

@@ -63,6 +63,9 @@ class ExecutionResult:
     failure_reason: str | None = None
     #: environment (interference) summary factor; 1.0 = quiet
     environment_factor: float = 1.0
+    #: audit trail of injected faults that struck this execution
+    #: (``"kind:stageN[:detail]"`` entries from :mod:`repro.sparksim.faults`)
+    faults_injected: tuple[str, ...] = ()
 
     # --- aggregates used for characterization -----------------------------
     @property

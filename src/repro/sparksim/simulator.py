@@ -25,6 +25,7 @@ from ..config.constraints import grant_resources
 from .costmodel import Calibration, compute_stage_cost
 from .dag import CacheRegistry, compile_job
 from .executor import ExecutorModel
+from .faults import NO_FAULTS, FaultPlan
 from .memory import plan_cache
 from .metrics import ExecutionResult, StageMetrics
 from .scheduler import schedule_stage
@@ -49,11 +50,18 @@ class SparkSimulator:
     noise:
         When ``False``, task durations are deterministic (useful for
         model unit tests); benches keep it ``True``.
+    fault_plan:
+        Optional :class:`~repro.sparksim.faults.FaultPlan`; faults are
+        drawn deterministically from each run's seed (never from the
+        noise stream), so injected scenarios are reproducible and a
+        non-firing plan leaves results bit-identical to no plan.
     """
 
-    def __init__(self, calibration: Calibration | None = None, noise: bool = True):
+    def __init__(self, calibration: Calibration | None = None, noise: bool = True,
+                 fault_plan: FaultPlan | None = None):
         self.calibration = calibration or Calibration()
         self.noise = noise
+        self.fault_plan = fault_plan
 
     def run(self, workload, input_mb: float, cluster: Cluster, config,
             env: Environment = QUIET, seed: int = 0) -> ExecutionResult:
@@ -66,6 +74,16 @@ class SparkSimulator:
                  config, env: Environment = QUIET, seed: int = 0) -> ExecutionResult:
         calib = self.calibration
         rng = np.random.default_rng(seed)
+        # Faults ride their own (salt, seed)-keyed stream: drawing them
+        # never perturbs the noise rng, so a non-firing plan is a no-op.
+        faults = (
+            self.fault_plan.draw(seed) if self.fault_plan is not None
+            else NO_FAULTS
+        )
+        injected: list[str] = []
+        if faults.env_multiplier > 1.0:
+            env = faults.spike_env(env)
+            injected.append(f"env_spike:x{faults.env_multiplier:g}")
         grant = grant_resources(config, cluster)
         if grant.executors < 1:
             return ExecutionResult(
@@ -74,6 +92,7 @@ class SparkSimulator:
                 executors_requested=grant.requested_executors,
                 failure_reason="executor container does not fit any node",
                 environment_factor=env.combined(),
+                faults_injected=tuple(injected),
             )
 
         executor = ExecutorModel.from_config(config)
@@ -85,6 +104,7 @@ class SparkSimulator:
         stage_metrics: list[StageMetrics] = []
         tasks_of_stage: dict[int, int] = {}
         next_stage_id = 0
+        ordinal = 0          # executed-stage counter; targets stage faults
 
         for job in jobs:
             runtime += calib.job_submit_s
@@ -105,6 +125,27 @@ class SparkSimulator:
                 )
                 tasks_of_stage[stage.stage_id] = cost.num_tasks
 
+                if ordinal == faults.oom_stage:
+                    # Injected container kill: retries then application abort,
+                    # the same expensive crash shape as a genuine OOM.
+                    wasted = cost.task.total_s * _MAX_ATTEMPTS + cost.driver_s
+                    runtime += wasted
+                    stage_metrics.append(self._failed_stage(stage, cost, wasted))
+                    injected.append(f"oom_kill:stage{ordinal}")
+                    return ExecutionResult(
+                        workload=name, input_mb=input_mb, runtime_s=runtime,
+                        success=False, stages=stage_metrics,
+                        executors_granted=grant.executors,
+                        executors_requested=grant.requested_executors,
+                        total_slots=slots,
+                        failure_reason=(
+                            f"fault-injected OOM kill in stage "
+                            f"{stage.stage_id} ({stage.name})"
+                        ),
+                        environment_factor=env.combined(),
+                        faults_injected=tuple(injected),
+                    )
+
                 if cost.task.oom:
                     # Retries then application abort.
                     wasted = cost.task.total_s * _MAX_ATTEMPTS + cost.driver_s
@@ -122,14 +163,36 @@ class SparkSimulator:
                             f"exceeds executor execution memory"
                         ),
                         environment_factor=env.combined(),
+                        faults_injected=tuple(injected),
                     )
 
                 schedule = schedule_stage(
                     cost.num_tasks, cost.task.total_s, slots,
                     config, rng, calib=calib, noise=self.noise,
                 )
-                elapsed = schedule.makespan_s + cost.driver_s
+                makespan = schedule.makespan_s
+                if ordinal == faults.straggler_stage:
+                    makespan *= faults.straggler_factor
+                    injected.append(
+                        f"straggler:stage{ordinal}:x{faults.straggler_factor:g}"
+                    )
+                if ordinal == faults.loss_stage and faults.loss_fraction > 0.0:
+                    # In-flight work on the lost executors re-runs, and every
+                    # later stage schedules onto the surviving slots only.
+                    makespan += schedule.makespan_s * faults.loss_fraction
+                    lost = min(
+                        grant.executors - 1,
+                        max(1, round(grant.executors * faults.loss_fraction)),
+                    )
+                    if lost > 0:
+                        slots = max(
+                            1,
+                            (grant.executors - lost) * executor.concurrent_tasks,
+                        )
+                    injected.append(f"executor_loss:stage{ordinal}:{lost}")
+                elapsed = makespan + cost.driver_s
                 runtime += elapsed
+                ordinal += 1
                 n = cost.num_tasks
                 stage_metrics.append(
                     StageMetrics(
@@ -174,6 +237,7 @@ class SparkSimulator:
             executors_requested=grant.requested_executors,
             total_slots=slots,
             environment_factor=env.combined(),
+            faults_injected=tuple(injected),
         )
 
     @staticmethod

@@ -74,6 +74,18 @@ class TestAllDetectors:
         with pytest.raises(ValueError):
             detector.update(float("inf"))
 
+    @pytest.mark.parametrize("factory", DETECTORS)
+    def test_rejects_non_finite_runtimes_without_polluting_state(self, factory):
+        # Failed production runs must never enter the detector stream —
+        # the service filters them, and the detector itself refuses any
+        # value that could not be a real runtime.
+        detector = factory()
+        for bad in (float("nan"), float("-inf"), -5.0):
+            with pytest.raises(ValueError):
+                detector.update(bad)
+        assert detector.n_seen == 0
+        assert detector.n_alarms == 0
+
 
 class TestFixedThresholdWeakness:
     """The failure mode Section V.D describes: fixed deltas misfire."""

@@ -4,10 +4,13 @@ import pytest
 
 from repro.core import (
     FixedThresholdDetector,
+    PageHinkleyDetector,
     SLOMetric,
     TuningService,
     TuningSLO,
 )
+from repro.sparksim import FaultPlan, SparkSimulator, oom_kill
+from repro.tuning.bo.bayesopt import BayesOptTuner
 from repro.workloads import PageRank, Sort, Wordcount, variant_of
 
 
@@ -101,3 +104,105 @@ class TestProductionMonitoring:
         before = service.ledger.production_runs
         service.run_production(dep, [20_000] * 4)
         assert service.ledger.production_runs == before + 4
+
+    def test_successful_runs_are_audited_as_detector_fed(self, service):
+        dep = service.submit("t1", Wordcount(), 20_000,
+                             cloud_budget=6, disc_budget=8)
+        runs = service.run_production(dep, [20_000] * 5)
+        assert all(r.success for r in runs)
+        assert all(r.detector_fed for r in runs)
+        assert all(r.consecutive_failures == 0 for r in runs)
+        assert all(r.retune_reason is None for r in runs)
+
+
+class TestFailureAwareProduction:
+    """ISSUE 2: crashes must not poison the detector; K crashes re-tune."""
+
+    def _deployment(self, service):
+        return service.submit("t1", Wordcount(), 20_000,
+                              cloud_budget=6, disc_budget=8)
+
+    def _faulty_service(self, probability, seed=7):
+        plan = FaultPlan.of(oom_kill(probability))
+        return TuningService(
+            provider="aws", seed=seed,
+            simulator=SparkSimulator(fault_plan=plan),
+        )
+
+    def test_crashes_do_not_poison_the_detector(self, service):
+        """Regression: zero false re-tunes on a steady stream with crashes.
+
+        The old code fed ``effective_runtime()`` (floored at 3600s) into
+        Page-Hinkley, so a single production crash fired a false re-tune;
+        the replayed legacy stream below still does, the service no
+        longer does.
+        """
+        dep = self._deployment(service)
+        # p chosen so crashes occur but never 3 consecutive on this seed:
+        # the consecutive-failure policy stays out of the picture and any
+        # re-tune here could only come from detector poisoning.
+        faulty = self._faulty_service(probability=0.15)
+        detector = PageHinkleyDetector()
+        runs = faulty.run_production(dep, [20_000] * 12, detector=detector)
+        failed = [r for r in runs if not r.success]
+        assert failed, "fault plan should crash at least one production run"
+        # After the fix: crashes never reach the detector, no false alarms.
+        assert detector.n_alarms == 0
+        assert not any(r.retuned for r in runs)
+        assert all(not r.detector_fed for r in failed)
+        assert all(r.detector_fed for r in runs if r.success)
+        # Before the fix (replayed): penalized crash runtimes poison the
+        # same detector and fire at least one false re-tune.
+        legacy = PageHinkleyDetector()
+        legacy_alarms = 0
+        for r in runs:
+            penalized = r.runtime_s if r.success else max(r.runtime_s * 4, 3600.0)
+            legacy_alarms += bool(legacy.update(penalized))
+        assert legacy_alarms >= 1
+
+    def test_consecutive_failures_trigger_explicit_retune(self, service):
+        dep = self._deployment(service)
+        faulty = self._faulty_service(probability=1.0)
+        detector = PageHinkleyDetector()
+        runs = faulty.run_production(
+            dep, [20_000] * 4, detector=detector,
+            retune_budget=6, max_consecutive_failures=3,
+        )
+        assert [r.consecutive_failures for r in runs] == [1, 2, 3, 1]
+        assert runs[2].retuned and runs[2].retune_reason == "failures"
+        assert dep.retuned_count >= 1
+        # The failure policy, not the detector, owns crash handling.
+        assert detector.n_alarms == 0
+        assert all(not r.detector_fed for r in runs)
+
+    def test_max_consecutive_failures_validated(self, service):
+        dep = self._deployment(service)
+        with pytest.raises(ValueError):
+            service.run_production(dep, [20_000], max_consecutive_failures=0)
+
+
+class TestCloudStopGuardFix:
+    """ISSUE 2 satellite: the EI stop rule must track the tuner's n_init."""
+
+    def test_small_budgets_consult_the_stop_rule(self, service, monkeypatch):
+        calls = []
+        original = BayesOptTuner.should_stop
+
+        def spy(self, ei_fraction=0.1):
+            calls.append(ei_fraction)
+            return original(self, ei_fraction)
+
+        monkeypatch.setattr(BayesOptTuner, "should_stop", spy)
+        service.tune_cloud(Sort(), 10_000, budget=5)
+        # Regression: with the hard-coded ``i >= 6`` guard this was never
+        # consulted for budget < 7.
+        assert len(calls) >= 1
+
+    def test_stop_rule_ends_campaign_right_after_the_initial_design(
+        self, service, monkeypatch,
+    ):
+        monkeypatch.setattr(
+            BayesOptTuner, "should_stop", lambda self, ei_fraction=0.1: True,
+        )
+        _, evaluations = service.tune_cloud(Sort(), 10_000, budget=12)
+        assert evaluations == 6      # n_init = min(6, 12): first consult wins

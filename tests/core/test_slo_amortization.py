@@ -48,6 +48,42 @@ class TestSLO:
             evaluate_slo(slo, 0, 100)
 
 
+class TestSLOWithPenalizedFailures:
+    """A campaign whose best observation is a crashed run still reports."""
+
+    def test_penalized_failure_misses_distance_slo(self):
+        # effective_runtime() floors crashes at 3600s x penalty; the SLO
+        # math must stay well-defined and report a (badly) missed target.
+        slo = TuningSLO(SLOMetric.WITHIN_OPTIMAL, target_fraction=0.2)
+        report = evaluate_slo(
+            slo, achieved_runtime_s=4 * 3600.0, reference_runtime_s=500.0,
+        )
+        assert not report.attained
+        assert report.value > 20
+        assert "MISSED" in report.describe()
+
+    def test_penalized_failure_misses_improvement_slo(self):
+        slo = TuningSLO(SLOMetric.IMPROVEMENT_OVER_DEFAULT, target_fraction=0.1)
+        report = evaluate_slo(
+            slo, achieved_runtime_s=4 * 3600.0, reference_runtime_s=900.0,
+        )
+        assert not report.attained
+        assert report.value < 0                  # a regression, not improvement
+
+    def test_best_observation_may_be_a_failure(self):
+        from repro.config.space import Configuration
+        from repro.tuning.base import Observation, TuningResult
+
+        config = Configuration({"spark.executor.cores": 4})
+        result = TuningResult(history=[
+            Observation(config, cost=4 * 3600.0, succeeded=False),
+            Observation(config, cost=5 * 3600.0, succeeded=False),
+        ])
+        assert result.best.succeeded is False
+        assert result.best.cost == 4 * 3600.0
+        assert result.incumbent_curve()[-1] == 4 * 3600.0
+
+
 class TestAmortization:
     def test_papers_bestconfig_example_does_not_amortize(self):
         """500 tuning runs vs 90 production runs in 3 months (Section IV.C)."""

@@ -137,6 +137,50 @@ class TestDeterminism:
         assert first != second
 
 
+class TestFailedRunSettlement:
+    """Crashed executions still settle: charged, penalized, flagged."""
+
+    def _crashing_engine(self):
+        from repro.sparksim import FaultPlan, SparkSimulator, oom_kill
+
+        return EvaluationEngine(
+            simulator=SparkSimulator(fault_plan=FaultPlan.of(oom_kill(1.0)))
+        )
+
+    def test_crashed_run_is_charged_and_flagged(self):
+        ledger = CostLedger()
+        engine = self._crashing_engine()
+        objective = _objective(engine, ledger=ledger)
+        [(cost, succeeded)] = objective.evaluate_batch(_configs(1))
+        assert not succeeded
+        assert not objective.last_result.success
+        # The provider paid for the wasted execution...
+        assert ledger.tuning_runs == 1
+        assert ledger.tuning_cost > 0
+        # ...and the tuner sees the penalized runtime, never the raw one.
+        assert cost >= objective.failure_floor_s
+        assert cost >= objective.last_result.runtime_s
+
+    def test_cached_crash_is_not_charged_twice(self):
+        ledger = CostLedger()
+        engine = self._crashing_engine()
+        objective = _objective(engine, ledger=ledger)
+        config = _configs(1)[0]
+        first = objective(config)
+        assert ledger.tuning_runs == 1
+        again = objective(config)
+        assert again == first                    # penalty memoized too
+        assert ledger.tuning_runs == 1           # cache hits are free
+
+    def test_failure_flag_propagates_through_batched_driver(self):
+        engine = self._crashing_engine()
+        objective = _objective(engine)
+        tuner = RandomSearchTuner(SPACE, seed=4)
+        result = run_tuner_batched(tuner, objective, budget=5, batch_size=3)
+        assert all(not o.succeeded for o in result.history)
+        assert all(o.cost >= objective.failure_floor_s for o in result.history)
+
+
 class TestBatchedTunerDriver:
     def test_run_tuner_batched_matches_serial_run_tuner(self):
         def make():

@@ -1,0 +1,307 @@
+"""Retry/backoff/degradation: the engine survives crashed workers and pools.
+
+The acceptance bar (ISSUE 2): an injected worker crash mid-batch must not
+abort the session — the batch completes via retry, the observation
+history is bit-identical to a fault-free serial run of the same seeds,
+and the engine counters record the retries and downgrades.
+"""
+
+import numpy as np
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.cloud import Cluster
+from repro.cloud.interference import QUIET, TYPICAL
+from repro.config.spark_params import spark_core_space
+from repro.engine import (
+    EngineObjective,
+    EvalRequest,
+    EvaluationEngine,
+    ParallelExecutor,
+    RetryError,
+    RetryPolicy,
+    SerialExecutor,
+    default_worker_count,
+)
+from repro.engine.executors import DEFAULT_WORKER_CAP
+from repro.sparksim import FaultPlan, SparkSimulator, worker_crash
+from repro.workloads import Sort
+
+CLUSTER = Cluster.of("m5.2xlarge", 6)
+SPACE = spark_core_space()
+
+#: fast-retry policy for tests: no real sleeping between attempts
+FAST = RetryPolicy(max_attempts=3, backoff_base_s=0.0)
+
+
+def _configs(n, seed=7):
+    rng = np.random.default_rng(seed)
+    return SPACE.sample_configurations(n, rng)
+
+
+def _objective(engine, **kwargs):
+    kwargs.setdefault("cluster", CLUSTER)
+    kwargs.setdefault("seed", 3)
+    kwargs.setdefault("repair", True)
+    return EngineObjective(engine, Sort(), 4096.0, **kwargs)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_fraction=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(batch_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(degrade_after=0)
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0,
+                             jitter_fraction=0.0)
+        assert policy.backoff_s(0) == pytest.approx(0.1)
+        assert policy.backoff_s(1) == pytest.approx(0.2)
+        assert policy.backoff_s(2) == pytest.approx(0.4)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base_s=0.1, jitter_fraction=0.25)
+        for attempt in range(4):
+            a = policy.backoff_s(attempt, token=9)
+            assert a == policy.backoff_s(attempt, token=9)   # reproducible
+            base = 0.1 * 2.0**attempt
+            assert base <= a <= base * 1.25
+        # Different tokens de-synchronize concurrent engines.
+        assert policy.backoff_s(1, token=1) != policy.backoff_s(1, token=2)
+
+
+class TestWorkerCount:
+    def test_cap_applies_on_big_hosts(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 128)
+        assert default_worker_count() == DEFAULT_WORKER_CAP
+        assert default_worker_count(cap=16) == 16
+
+    def test_tiny_hosts_keep_their_cores(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 2)
+        assert default_worker_count() == 2
+        monkeypatch.setattr("os.cpu_count", lambda: None)
+        assert default_worker_count() == 1
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            default_worker_count(cap=0)
+
+
+class FlakyExecutor:
+    """Serial executor whose first ``fail_calls`` run_batch calls raise."""
+
+    def __init__(self, simulator, fail_calls=1):
+        self.inner = SerialExecutor(simulator)
+        self.fail_calls = fail_calls
+        self.calls = 0
+
+    def run_batch(self, requests):
+        self.calls += 1
+        if self.calls <= self.fail_calls:
+            raise RuntimeError("transient harness failure")
+        return self.inner.run_batch(requests)
+
+    def close(self):
+        pass
+
+
+class BrokenPoolExecutor:
+    """A 'pool' that is permanently broken; rebuilds never help."""
+
+    def __init__(self):
+        self.rebuilds = 0
+
+    def run_batch_partial(self, requests, timeout_s=None):
+        return [None] * len(requests), BrokenProcessPool("pool is toast")
+
+    def run_batch(self, requests):
+        raise BrokenProcessPool("pool is toast")
+
+    def rebuild(self):
+        self.rebuilds += 1
+
+    def close(self):
+        pass
+
+
+class AlwaysFailsExecutor:
+    def run_batch(self, requests):
+        raise RuntimeError("permanently down")
+
+    def close(self):
+        pass
+
+
+class ExplodingSimulator:
+    calibration = None
+    noise = False
+    fault_plan = None
+
+    def run(self, *args, **kwargs):
+        raise RuntimeError("simulator down")
+
+
+class TestRetryDispatch:
+    def test_transient_failure_is_retried_and_completes(self):
+        sim = SparkSimulator()
+        engine = EvaluationEngine(
+            simulator=sim, executor=FlakyExecutor(sim, fail_calls=2),
+            retry=FAST,
+        )
+        objective = _objective(engine)
+        outcomes = objective.evaluate_batch(_configs(4))
+        assert len(outcomes) == 4
+        serial = _objective(EvaluationEngine()).evaluate_batch(_configs(4))
+        assert outcomes == serial
+        counters = engine.counters()
+        assert counters["n_failures"] >= 1
+        assert counters["n_retries"] >= 1
+        assert counters["n_degraded"] == 0
+
+    def test_retry_none_fails_fast(self):
+        sim = SparkSimulator()
+        engine = EvaluationEngine(
+            simulator=sim, executor=FlakyExecutor(sim), retry=None,
+        )
+        with pytest.raises(RuntimeError, match="transient"):
+            _objective(engine).evaluate_batch(_configs(2))
+
+    def test_persistently_broken_pool_degrades_to_serial(self):
+        stub = BrokenPoolExecutor()
+        engine = EvaluationEngine(
+            executor=stub, retry=RetryPolicy(backoff_base_s=0.0, degrade_after=2),
+        )
+        objective = _objective(engine)
+        outcomes = objective.evaluate_batch(_configs(5))
+        assert all(np.isfinite(cost) for cost, _ in outcomes)
+        counters = engine.counters()
+        assert counters["n_degraded"] == 1
+        assert counters["n_pool_rebuilds"] == 1          # one rebuild, then give up
+        assert stub.rebuilds == 1
+        assert isinstance(engine._executor, SerialExecutor)
+        # Degraded results are still the canonical per-seed results.
+        assert outcomes == _objective(EvaluationEngine()).evaluate_batch(_configs(5))
+
+    def test_exhausted_attempts_fall_back_to_serial(self):
+        engine = EvaluationEngine(
+            executor=AlwaysFailsExecutor(),
+            retry=RetryPolicy(max_attempts=2, backoff_base_s=0.0),
+        )
+        objective = _objective(engine)
+        outcomes = objective.evaluate_batch(_configs(3))
+        assert outcomes == _objective(EvaluationEngine()).evaluate_batch(_configs(3))
+        counters = engine.counters()
+        assert counters["n_exhausted"] == 3
+        assert counters["n_degraded"] == 1
+
+    def test_retry_error_when_even_serial_fallback_fails(self):
+        engine = EvaluationEngine(
+            simulator=ExplodingSimulator(),
+            executor=AlwaysFailsExecutor(),
+            retry=RetryPolicy(max_attempts=2, backoff_base_s=0.0),
+        )
+        request = EvalRequest(
+            workload=Sort(), input_mb=1024.0, cluster=CLUSTER,
+            config=SPACE.default_configuration(), seed=1,
+        )
+        with pytest.raises(RetryError):
+            engine.evaluate(request)
+
+
+class TestWorkerCrashRecovery:
+    """ISSUE 2 acceptance: crash mid-batch, recover, bit-identical history."""
+
+    def _engines(self, crash_probability):
+        plan = FaultPlan.of(worker_crash(crash_probability))
+        faulted = EvaluationEngine(
+            simulator=SparkSimulator(fault_plan=plan),
+            executor="process", max_workers=2,
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.0),
+        )
+        reference = EvaluationEngine()   # fault-free serial twin
+        return faulted, reference
+
+    def test_crashed_workers_recover_with_identical_history(self):
+        faulted, reference = self._engines(crash_probability=1.0)
+        with faulted:
+            outcomes = _objective(faulted).evaluate_batch(_configs(8))
+            counters = faulted.counters()
+        expected = _objective(reference).evaluate_batch(_configs(8))
+        assert outcomes == expected                       # bit-identical
+        assert counters["n_failures"] >= 1
+        assert counters["n_retries"] >= 1
+        assert counters["n_pool_rebuilds"] >= 1
+
+    def test_partial_crash_re_dispatches_only_unfinished(self):
+        faulted, reference = self._engines(crash_probability=0.4)
+        with faulted:
+            outcomes = _objective(faulted).evaluate_batch(_configs(10, seed=21))
+            counters = faulted.counters()
+        expected = _objective(reference).evaluate_batch(_configs(10, seed=21))
+        assert outcomes == expected
+        # Something crashed (p=0.4 over 10 configs) but fewer than all
+        # ten requests should have needed a retry on this seed.
+        assert 1 <= counters["n_retries"] < 2 * 10
+
+    def test_session_history_unaffected_by_crashes(self):
+        # Same property one level up: a tuning loop over a crashing pool
+        # produces the exact observations of a clean serial loop.
+        from repro.tuning import RandomSearchTuner, run_tuner_batched
+
+        faulted, reference = self._engines(crash_probability=1.0)
+        with faulted:
+            noisy = run_tuner_batched(
+                RandomSearchTuner(SPACE, seed=5), _objective(faulted),
+                budget=8, batch_size=4,
+            )
+        clean = run_tuner_batched(
+            RandomSearchTuner(SPACE, seed=5), _objective(reference),
+            budget=8, batch_size=4,
+        )
+        assert [o.cost for o in noisy.history] == [o.cost for o in clean.history]
+        assert [o.succeeded for o in noisy.history] == [
+            o.succeeded for o in clean.history
+        ]
+
+
+class TestTimeouts:
+    def test_unfinished_chunks_fail_at_the_deadline(self):
+        with ParallelExecutor(max_workers=2) as executor:
+            requests = [
+                EvalRequest(
+                    workload=Sort(), input_mb=2048.0, cluster=CLUSTER,
+                    config=SPACE.default_configuration(), seed=s,
+                )
+                for s in range(4)
+            ]
+            results, error = executor.run_batch_partial(requests, timeout_s=1e-9)
+        assert isinstance(error, TimeoutError)
+        assert results.count(None) >= 1
+
+
+class TestEnvDistinctMisses:
+    def test_same_candidate_new_environment_is_counted(self):
+        engine = EvaluationEngine()
+        base = EvalRequest(
+            workload=Sort(), input_mb=4096.0, cluster=CLUSTER,
+            config=SPACE.default_configuration(), env=QUIET, seed=11,
+        )
+        engine.evaluate(base)
+        assert engine.counters()["n_env_distinct_misses"] == 0
+        from dataclasses import replace
+
+        engine.evaluate(replace(base, env=TYPICAL))
+        counters = engine.counters()
+        assert counters["n_env_distinct_misses"] == 1
+        assert counters["hits"] == 0                      # both were misses
+        # A true repeat stays a plain cache hit, not an env-distinct miss.
+        engine.evaluate(base)
+        assert engine.counters()["n_env_distinct_misses"] == 1
+        assert engine.counters()["hits"] == 1
