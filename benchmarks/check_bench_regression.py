@@ -1,0 +1,87 @@
+"""Gate throughput regressions against the committed benchmark JSON.
+
+Compares a freshly-generated ``BENCH_throughput.json`` against the
+committed baseline and fails when a cold-path scenario's evals/s
+regressed by more than the tolerance.  Warm-cache and parallel scenarios
+are excluded: their numbers are dominated by cache bookkeeping and
+host core counts, not the code under guard.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BASELINE FRESH \
+        [--max-regression 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: cold-path scenarios whose evals/s are gated
+GATED_SCENARIOS = (
+    "sim_scalar_cold",
+    "sim_batch_cold",
+    "engine_serial_scalar",
+    "engine_serial",
+)
+
+
+def check(baseline: dict, fresh: dict, max_regression: float) -> list[str]:
+    failures = []
+    base_scenarios = baseline.get("scenarios", {})
+    fresh_scenarios = fresh.get("scenarios", {})
+    for name in GATED_SCENARIOS:
+        base = base_scenarios.get(name)
+        new = fresh_scenarios.get(name)
+        if base is None:
+            # The committed baseline predates this scenario; nothing to
+            # regress against yet — the next regeneration picks it up.
+            continue
+        if new is None:
+            failures.append(f"{name}: missing from fresh report")
+            continue
+        base_eps = float(base["evals_per_s"])
+        new_eps = float(new["evals_per_s"])
+        floor = base_eps * (1.0 - max_regression)
+        if new_eps < floor:
+            failures.append(
+                f"{name}: {new_eps:.1f} evals/s is "
+                f"{1.0 - new_eps / base_eps:.0%} below the committed "
+                f"{base_eps:.1f} (allowed: {max_regression:.0%})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path,
+                        help="committed BENCH_throughput.json")
+    parser.add_argument("fresh", type=Path,
+                        help="freshly generated BENCH_throughput.json")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed fractional evals/s drop (default 0.30)")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.max_regression < 1.0:
+        parser.error("--max-regression must be in [0, 1)")
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    failures = check(baseline, fresh, args.max_regression)
+    for name in GATED_SCENARIOS:
+        scenario = fresh.get("scenarios", {}).get(name)
+        if scenario:
+            print(f"{name:<24}{float(scenario['evals_per_s']):>10.1f} evals/s")
+    if failures:
+        print("\nthroughput regression:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nno cold-path regression beyond "
+          f"{args.max_regression:.0%} tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

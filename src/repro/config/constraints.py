@@ -47,7 +47,14 @@ def grant_resources(config: Mapping, cluster: Cluster) -> ResourceGrant:
     Returns a grant with ``executors == 0`` when even a single executor
     container cannot fit on a node — the "plausible but crashes" case the
     paper's Section IV warns about.
+
+    The result is a pure function of an immutable configuration and
+    cluster, and every evaluation asks twice (tuner-side repair, then
+    the simulator), so it is memoized on the configuration.
     """
+    cached = getattr(config, "_grant", None)
+    if cached is not None and (cached[0] is cluster or cached[0] == cluster):
+        return cached[1]
     requested = int(config["spark.executor.instances"])
     cores = int(config["spark.executor.cores"])
     node_mem = cluster.instance.memory_mb
@@ -62,7 +69,11 @@ def grant_resources(config: Mapping, cluster: Cluster) -> ResourceGrant:
     per_node_by_cpu = node_cores // cores if cores <= node_cores else 0
     per_node = min(per_node_by_mem, per_node_by_cpu)
     if per_node <= 0:
-        return ResourceGrant(0, cores, int(config["spark.executor.memory"]), requested)
+        grant = ResourceGrant(
+            0, cores, int(config["spark.executor.memory"]), requested,
+        )
+        _memoize_grant(config, cluster, grant)
+        return grant
 
     # Driver node has reduced headroom.
     driver_node_mem = max(0.0, node_mem - driver_mb)
@@ -73,12 +84,23 @@ def grant_resources(config: Mapping, cluster: Cluster) -> ResourceGrant:
     )
     capacity = on_driver_node + per_node * (cluster.count - 1)
     granted = min(requested, capacity)
-    return ResourceGrant(
+    grant = ResourceGrant(
         executors=granted,
         cores_per_executor=cores,
         memory_per_executor_mb=int(config["spark.executor.memory"]),
         requested_executors=requested,
     )
+    _memoize_grant(config, cluster, grant)
+    return grant
+
+
+def _memoize_grant(config, cluster: Cluster, grant: ResourceGrant) -> None:
+    try:
+        # Configuration reserves a slot for this memo; other mappings
+        # (plain dicts, test doubles) simply skip it.
+        config._grant = (cluster, grant)
+    except (AttributeError, TypeError):
+        pass
 
 
 def repair(config: Configuration, cluster: Cluster) -> Configuration:

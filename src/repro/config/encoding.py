@@ -22,7 +22,42 @@ from .space import (
     ConfigurationSpace,
 )
 
-__all__ = ["UnitEncoder", "OneHotEncoder"]
+__all__ = ["UnitEncoder", "OneHotEncoder", "ConfigColumns"]
+
+
+class ConfigColumns:
+    """Struct-of-arrays view of a batch of configurations.
+
+    Surrogate encoders map configurations into model feature spaces; this
+    helper instead extracts *raw* parameter columns as numpy arrays, one
+    value per candidate, for consumers that evaluate a whole batch of
+    configurations in vectorized passes (the simulator's batch cost
+    model).  Values are taken verbatim via ``Mapping.get``, so defaults
+    match the scalar code paths that read the same keys.
+    """
+
+    def __init__(self, configs):
+        self.configs = list(configs)
+        self.n = len(self.configs)
+
+    def floats(self, name: str, default=None) -> np.ndarray:
+        return np.array(
+            [float(c.get(name, default)) for c in self.configs], dtype=float,
+        )
+
+    def ints(self, name: str, default=None) -> np.ndarray:
+        return np.array(
+            [int(c.get(name, default)) for c in self.configs], dtype=np.int64,
+        )
+
+    def bools(self, name: str, default: bool = False) -> np.ndarray:
+        return np.array(
+            [bool(c.get(name, default)) for c in self.configs], dtype=bool,
+        )
+
+    def mapped(self, fn) -> np.ndarray:
+        """One float per candidate via an arbitrary per-config function."""
+        return np.array([fn(c) for c in self.configs], dtype=float)
 
 
 class UnitEncoder:

@@ -88,15 +88,19 @@ class _NumericParameter(Parameter):
         self.low = low
         self.high = high
         self.log = log
+        # Unit-interval bounds are fixed at construction; sampling maps
+        # through them on every draw, so compute the logs once.
+        if log:
+            self._unit_lo, self._unit_hi = math.log(low), math.log(high)
+        else:
+            self._unit_lo, self._unit_hi = float(low), float(high)
         if default is None:
             default = self.from_unit(0.5)
         super().__init__(name, default, description)
         self.validate(self.default)
 
     def _bounds_unit(self) -> tuple[float, float]:
-        if self.log:
-            return math.log(self.low), math.log(self.high)
-        return float(self.low), float(self.high)
+        return self._unit_lo, self._unit_hi
 
     def to_unit(self, value) -> float:
         self.validate(value)
@@ -106,8 +110,8 @@ class _NumericParameter(Parameter):
 
     def _from_unit_float(self, u: float) -> float:
         u = min(1.0, max(0.0, float(u)))
-        lo, hi = self._bounds_unit()
-        v = lo + u * (hi - lo)
+        lo = self._unit_lo
+        v = lo + u * (self._unit_hi - lo)
         return math.exp(v) if self.log else v
 
 
@@ -238,14 +242,28 @@ class CategoricalParameter(Parameter):
 class Configuration(Mapping):
     """An immutable, hashable assignment of values to every space parameter."""
 
-    __slots__ = ("_values", "_hash")
+    # _fingerprint memoizes the engine's content digest
+    # (repro.engine.cache.config_fingerprint), which keys caches and
+    # derives per-config seeds — twice per evaluation on the hot path.
+    # _grant memoizes the cluster-manager packing decision
+    # (repro.config.constraints.grant_resources), likewise asked twice
+    # per evaluation (tuner-side repair, then the simulator).
+    __slots__ = ("_values", "_hash", "_fingerprint", "_grant")
 
     def __init__(self, values: Mapping[str, Any]):
         self._values = dict(values)
         self._hash = None
+        self._fingerprint = None
+        self._grant = None
 
     def __getitem__(self, key: str) -> Any:
         return self._values[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        # Mapping.get is a Python-level call into __getitem__; the cost
+        # model asks for ~20 knobs per evaluation, so delegate to the
+        # backing dict's C implementation.
+        return self._values.get(key, default)
 
     def __iter__(self) -> Iterator[str]:
         return iter(self._values)

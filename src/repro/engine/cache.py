@@ -29,8 +29,23 @@ def config_fingerprint(config: Mapping[str, Any]) -> str:
     items, which is deterministic for the str/int/float/bool values
     configurations hold.
     """
-    payload = repr(sorted(config.items())).encode()
-    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+    cached = getattr(config, "_fingerprint", None)
+    if cached is not None:
+        return cached
+    # Configuration backs its Mapping interface with a plain dict;
+    # hashing that directly skips the abc ItemsView iteration (the items
+    # and therefore the digest are identical either way).
+    values = getattr(config, "_values", None)
+    items = values.items() if values is not None else config.items()
+    payload = repr(sorted(items)).encode()
+    digest = hashlib.blake2b(payload, digest_size=16).hexdigest()
+    try:
+        # Configuration reserves a slot for exactly this memo; other
+        # mappings (plain dicts, test doubles) simply skip it.
+        config._fingerprint = digest
+    except (AttributeError, TypeError):
+        pass
+    return digest
 
 
 @dataclass

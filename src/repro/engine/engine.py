@@ -27,7 +27,7 @@ from ..sparksim.metrics import ExecutionResult
 from ..sparksim.simulator import SparkSimulator
 from ..tuning.base import SimulationObjective
 from .cache import CacheStats, EvaluationCache, config_fingerprint
-from .executors import ParallelExecutor, SerialExecutor
+from .executors import ParallelExecutor, SerialExecutor, default_worker_count
 from .retry import FailureCounters, RetryError, RetryPolicy
 
 __all__ = ["EvalRequest", "EvalRecord", "EvaluationEngine", "EngineObjective"]
@@ -100,12 +100,20 @@ class EvaluationEngine:
         if executor == "serial":
             self._executor = SerialExecutor(simulator)
         elif executor == "process":
-            self._executor = ParallelExecutor(
-                max_workers=max_workers,
-                calibration=simulator.calibration,
-                noise=simulator.noise,
-                fault_plan=simulator.fault_plan,
-            )
+            # A pool of one worker is pure overhead (fork + pickle per
+            # chunk with zero parallelism — the throughput bench measures
+            # it *slower* than in-process), so "process" on a single-core
+            # host resolves to the serial executor.
+            effective_workers = max_workers or default_worker_count()
+            if effective_workers <= 1:
+                self._executor = SerialExecutor(simulator)
+            else:
+                self._executor = ParallelExecutor(
+                    max_workers=effective_workers,
+                    calibration=simulator.calibration,
+                    noise=simulator.noise,
+                    fault_plan=simulator.fault_plan,
+                )
         elif hasattr(executor, "run_batch"):
             self._executor = executor
         else:
@@ -128,12 +136,27 @@ class EvaluationEngine:
     def stats(self) -> CacheStats:
         return self.cache.stats if self.cache is not None else CacheStats()
 
+    @property
+    def executor_kind(self) -> str:
+        """Which executor is answering requests right now.
+
+        ``"serial"`` / ``"process"``, or the class name of a custom
+        executor.  Surfaces both the single-core resolution at
+        construction and any mid-session degradation to serial.
+        """
+        if isinstance(self._executor, SerialExecutor):
+            return "serial"
+        if isinstance(self._executor, ParallelExecutor):
+            return "process"
+        return type(self._executor).__name__
+
     def counters(self) -> dict[str, float]:
         """Flat snapshot: hit/miss/latency plus failure/retry/degradation."""
         snap = self.stats.snapshot()
         snap.update(n_requested=self.n_requested, n_evaluated=self.n_evaluated,
                     n_env_distinct_misses=self.n_env_distinct_misses)
         snap.update(self.failures.snapshot())
+        snap["executor_kind"] = self.executor_kind
         return snap
 
     # --- evaluation ----------------------------------------------------------

@@ -25,7 +25,12 @@ from ..sparksim.costmodel import Calibration
 from ..sparksim.faults import FaultPlan
 from ..sparksim.simulator import SparkSimulator
 
-__all__ = ["SerialExecutor", "ParallelExecutor", "default_worker_count"]
+__all__ = [
+    "SerialExecutor",
+    "ParallelExecutor",
+    "default_worker_count",
+    "run_grouped",
+]
 
 #: workers beyond this stop paying for simulated executions (milliseconds
 #: each) and start costing fork + pickle overhead on big hosts
@@ -44,18 +49,64 @@ def default_worker_count(cap: int = DEFAULT_WORKER_CAP) -> int:
     return max(1, min(os.cpu_count() or 1, cap))
 
 
+def run_grouped(simulator: SparkSimulator, requests) -> list:
+    """Answer ``requests`` in order, batching same-workload runs.
+
+    Requests that share a workload object, input size and cluster form
+    one :meth:`~repro.sparksim.simulator.SparkSimulator.run_batch` call
+    (one plan-cache lookup + one vectorized cost sweep), which is
+    bit-identical to running them one by one.  Grouping keys on the
+    workload's *identity*: within one process (or one unpickled chunk,
+    where pickle memoization preserves shared references) same-origin
+    requests carry the same object.
+    """
+    requests = list(requests)
+    groups: dict[tuple, list[int]] = {}
+    for idx, r in enumerate(requests):
+        key = (id(r.workload), float(r.input_mb), r.cluster)
+        groups.setdefault(key, []).append(idx)
+    results: list = [None] * len(requests)
+    for idxs in groups.values():
+        if len(idxs) == 1:
+            i = idxs[0]
+            r = requests[i]
+            results[i] = simulator.run(
+                r.workload, r.input_mb, r.cluster, r.config,
+                env=r.env, seed=r.seed,
+            )
+        else:
+            first = requests[idxs[0]]
+            batch = simulator.run_batch(
+                first.workload, first.input_mb, first.cluster,
+                [requests[i].config for i in idxs],
+                envs=[requests[i].env for i in idxs],
+                seeds=[requests[i].seed for i in idxs],
+            )
+            for i, result in zip(idxs, batch):
+                results[i] = result
+    return results
+
+
 class SerialExecutor:
     """Run every request in-process on one simulator (the baseline).
 
-    Ignores ``worker_crash`` faults by construction: those model pool
-    workers dying, and there is no pool here — which is exactly why the
-    engine degrades to this executor when pools keep breaking.
+    With ``group_batches`` (the default), same-workload requests dispatch
+    through the simulator's candidate-batched fast path; results stay
+    bit-identical to the per-request loop.  Ignores ``worker_crash``
+    faults by construction: those model pool workers dying, and there is
+    no pool here — which is exactly why the engine degrades to this
+    executor when pools keep breaking.
     """
 
-    def __init__(self, simulator: SparkSimulator | None = None):
+    def __init__(self, simulator: SparkSimulator | None = None,
+                 group_batches: bool = True):
         self.simulator = simulator or SparkSimulator()
+        self.group_batches = group_batches
 
     def run_batch(self, requests) -> list:
+        requests = list(requests)
+        if self.group_batches and len(requests) > 1:
+            return run_grouped(self.simulator, requests)
         return [
             self.simulator.run(
                 r.workload, r.input_mb, r.cluster, r.config,
@@ -101,7 +152,15 @@ def _run_one(request):
 
 
 def _run_chunk(requests):
-    return [_run_one(r) for r in requests]
+    # Crash faults fire before any work, exactly as the per-request loop
+    # would: the whole chunk is lost either way (os._exit kills the
+    # worker), and retried requests (attempt > 0) never crash.
+    plan = _WORKER_SIMULATOR.fault_plan
+    if plan is not None:
+        for r in requests:
+            if getattr(r, "attempt", 0) == 0 and plan.draw(r.seed).crash_worker:
+                os._exit(13)
+    return run_grouped(_WORKER_SIMULATOR, requests)
 
 
 class ParallelExecutor:

@@ -1,7 +1,25 @@
 """Discrete-event Spark simulator: RDDs, DAGs, executors, cost model."""
 
-from .costmodel import Calibration, StageCost, TaskCost, compute_stage_cost, with_overrides
-from .dag import CacheRegistry, JobPlan, StageProfile, compile_job
+from .costmodel import (
+    Calibration,
+    StageCost,
+    StageCostBatch,
+    TaskCost,
+    compute_stage_cost,
+    compute_stage_cost_batch,
+    with_overrides,
+)
+from .dag import (
+    CacheRegistry,
+    CompiledJob,
+    CompiledStage,
+    CompiledWorkload,
+    JobPlan,
+    StageProfile,
+    compile_job,
+    compile_workload,
+    fingerprint_jobs,
+)
 from .eventlog import event_lines, read_event_log, write_event_log
 from .executor import ExecutorModel
 from .faults import (
@@ -17,7 +35,7 @@ from .faults import (
 from .memory import CachePlan, SpillOutcome, gc_fraction, plan_cache, spill_outcome
 from .metrics import ExecutionResult, StageMetrics, TaskMetrics
 from .rdd import RDD, Job
-from .scheduler import StageSchedule, schedule_stage
+from .scheduler import StageSchedule, schedule_stage, schedule_stage_batch
 from .shuffle import CODECS, SERIALIZERS, shuffle_read, shuffle_write
 from .simulator import SparkSimulator
 
@@ -28,6 +46,11 @@ __all__ = [
     "JobPlan",
     "CacheRegistry",
     "compile_job",
+    "CompiledStage",
+    "CompiledJob",
+    "CompiledWorkload",
+    "compile_workload",
+    "fingerprint_jobs",
     "ExecutorModel",
     "FaultSpec",
     "FaultDraw",
@@ -49,10 +72,13 @@ __all__ = [
     "Calibration",
     "TaskCost",
     "StageCost",
+    "StageCostBatch",
     "compute_stage_cost",
+    "compute_stage_cost_batch",
     "with_overrides",
     "StageSchedule",
     "schedule_stage",
+    "schedule_stage_batch",
     "event_lines",
     "write_event_log",
     "read_event_log",

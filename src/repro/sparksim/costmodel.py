@@ -14,15 +14,27 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Mapping
 
+import numpy as np
+
 from ..cloud.cluster import Cluster
 from ..cloud.interference import Environment
 from ..config.constraints import ResourceGrant
+from ..config.encoding import ConfigColumns
 from .dag import StageProfile
 from .executor import RESERVED_MB, ExecutorModel
-from .memory import CachePlan, gc_fraction, spill_outcome
-from .shuffle import codec_of, serializer_of, shuffle_read, shuffle_write
+from .memory import CachePlan, gc_fraction, plan_cache, spill_outcome
+from .shuffle import CODECS, codec_of, serializer_of, shuffle_read, shuffle_write
 
-__all__ = ["Calibration", "TaskCost", "StageCost", "compute_stage_cost"]
+__all__ = [
+    "Calibration",
+    "TaskCost",
+    "StageCost",
+    "compute_stage_cost",
+    "BatchInputs",
+    "StageCostBatch",
+    "build_batch_inputs",
+    "compute_stage_cost_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -266,3 +278,364 @@ def compute_stage_cost(
 def with_overrides(calib: Calibration, **kwargs) -> Calibration:
     """Convenience for ablations: return a modified calibration."""
     return replace(calib, **kwargs)
+
+
+# --- struct-of-arrays batch cost model ----------------------------------------
+#
+# One stage, N candidate configurations, single numpy passes.  The
+# contract is bit-identity with :func:`compute_stage_cost`: every
+# elementwise operation replicates the scalar code's operations in the
+# same order and association, per-candidate branches become exact-zero
+# masked contributions (adding 0.0 to a non-negative accumulator is a
+# bitwise no-op), and every transcendental term (``pow``/``exp``, where
+# numpy's vector kernels differ from Python's scalar libm calls in the
+# last ulp) is computed elementwise with Python arithmetic.
+
+
+@dataclass
+class BatchInputs:
+    """Config-only columns shared by every stage of a batch evaluation.
+
+    Built once per batch by :func:`build_batch_inputs` from the raw
+    configuration columns (:class:`~repro.config.encoding.ConfigColumns`),
+    the resource grants and the executor models — everything the scalar
+    cost model derives per call that does not depend on the stage.
+    """
+
+    n: int
+    # configuration columns
+    parallelism: np.ndarray
+    locality_wait: np.ndarray
+    remote_frac: np.ndarray
+    ser_serialize: np.ndarray
+    ser_deserialize: np.ndarray
+    ser_expansion: np.ndarray
+    codec_ratio: np.ndarray
+    codec_compress: np.ndarray
+    codec_decompress: np.ndarray
+    shuffle_compress: np.ndarray
+    spill_compress: np.ndarray
+    flush_base: np.ndarray
+    bypass_threshold: np.ndarray
+    fetch_efficiency: np.ndarray
+    per_block_s: np.ndarray
+    speculation: np.ndarray
+    spec_multiplier: np.ndarray
+    spec_quantile: np.ndarray
+    # grant / executor columns
+    executors: np.ndarray
+    requested: np.ndarray
+    concurrent: np.ndarray
+    heap_mb: np.ndarray
+    unified_mb: np.ndarray
+    immune_mb: np.ndarray
+    offheap_mb: np.ndarray
+    # resource sharing (environment folded in)
+    disk_share: np.ndarray
+    net_share: np.ndarray
+    env_cpu: np.ndarray
+    core_speed: float
+    remote_nodes_fraction: float
+    # cache statics (storage level / serializer / rdd.compress derived)
+    cache_footprint: np.ndarray
+    cache_read_cpu: np.ndarray
+    cache_miss_to_disk: np.ndarray
+    cache_capacity: np.ndarray
+
+
+@dataclass
+class StageCostBatch:
+    """Per-candidate cost arrays for one stage (columns of ``TaskCost``)."""
+
+    num_tasks: np.ndarray
+    cpu_s: np.ndarray
+    disk_s: np.ndarray
+    net_s: np.ndarray
+    gc_s: np.ndarray
+    idle_s: np.ndarray
+    total_s: np.ndarray
+    driver_s: np.ndarray
+    spilled_mb: np.ndarray       # per-task logical spill
+    spill_mb_total: np.ndarray
+    oom: np.ndarray
+
+
+def build_batch_inputs(configs, cluster: Cluster, grants, executors,
+                       envs) -> BatchInputs:
+    """Extract the config-only columns for one batch of candidates.
+
+    ``grants``/``executors``/``envs`` align with ``configs``; every grant
+    must have at least one executor (rejected candidates never reach the
+    batch path).
+    """
+    cols = ConfigColumns(configs)
+    n = cols.n
+    ser = [serializer_of(c) for c in configs]
+    codec = [CODECS[c.get("spark.io.compression.codec", "lz4")] for c in configs]
+
+    locality_wait = cols.floats("spark.locality.wait", 3.0)
+    remote_frac = cols.mapped(
+        lambda c: 0.12 * pow(2.718281828, -float(c.get("spark.locality.wait", 3.0)) / 1.5)
+    )
+    flush_base = cols.mapped(
+        lambda c: 1.0 + 0.08 * (32.0 / float(c.get("spark.shuffle.file.buffer", 32))) ** 0.5
+    )
+
+    def _fetch_eff(c) -> float:
+        inflight = float(c.get("spark.reducer.maxSizeInFlight", 48))
+        return max(min(1.0, (inflight / 48.0) ** 0.35), 0.35)
+
+    def _per_block(c) -> float:
+        connections = int(c.get("spark.shuffle.io.numConnectionsPerPeer", 1))
+        per_block_s = 0.00025 / max(1, connections)
+        if c.get("spark.shuffle.consolidateFiles", False):
+            per_block_s *= 0.4
+        return per_block_s
+
+    executors_arr = np.array([g.executors for g in grants], dtype=np.int64)
+    concurrent = np.array([e.concurrent_tasks for e in executors], dtype=np.int64)
+
+    # Resource sharing per node: identical operation order to the scalar
+    # model (two sequential divisions, not a combined divisor).
+    execs_per_node = np.maximum(1.0, executors_arr / cluster.count)
+    tasks_per_node = execs_per_node * concurrent
+    disk_factor = np.array([e.disk_factor for e in envs], dtype=float)
+    net_factor = np.array([e.network_factor for e in envs], dtype=float)
+    disk_share = cluster.node_disk_mb_s / tasks_per_node / disk_factor
+    net_share = cluster.node_network_mb_s / tasks_per_node / net_factor
+    remote_nodes_fraction = (
+        (cluster.count - 1) / cluster.count if cluster.count > 1 else 0.0
+    )
+
+    # Cache statics: footprint / per-read CPU / miss policy depend only on
+    # the configuration, so derive them from one empty-cache plan each.
+    statics = [
+        plan_cache(0.0, g.executors, e, c)
+        for c, g, e in zip(configs, grants, executors)
+    ]
+    capacity = np.array(
+        [e.storage_capacity_mb() * max(1, g.executors)
+         for g, e in zip(grants, executors)],
+        dtype=float,
+    )
+
+    return BatchInputs(
+        n=n,
+        parallelism=cols.ints("spark.default.parallelism"),
+        locality_wait=locality_wait,
+        remote_frac=remote_frac,
+        ser_serialize=np.array([s.serialize_s_per_mb for s in ser]),
+        ser_deserialize=np.array([s.deserialize_s_per_mb for s in ser]),
+        ser_expansion=np.array([s.expansion for s in ser]),
+        codec_ratio=np.array([c.ratio for c in codec]),
+        codec_compress=np.array([c.compress_s_per_mb for c in codec]),
+        codec_decompress=np.array([c.decompress_s_per_mb for c in codec]),
+        shuffle_compress=cols.bools("spark.shuffle.compress", True),
+        spill_compress=cols.bools("spark.shuffle.spill.compress", True),
+        flush_base=flush_base,
+        bypass_threshold=cols.ints("spark.shuffle.sort.bypassMergeThreshold", 200),
+        fetch_efficiency=cols.mapped(_fetch_eff),
+        per_block_s=cols.mapped(_per_block),
+        speculation=cols.bools("spark.speculation", False),
+        spec_multiplier=cols.floats("spark.speculation.multiplier", 1.5),
+        spec_quantile=cols.floats("spark.speculation.quantile", 0.75),
+        executors=executors_arr,
+        requested=np.array([g.requested_executors for g in grants], dtype=np.int64),
+        concurrent=concurrent,
+        heap_mb=np.array([e.heap_mb for e in executors], dtype=float),
+        unified_mb=np.array([e.unified_mb for e in executors], dtype=float),
+        immune_mb=np.array([e.storage_immune_mb for e in executors], dtype=float),
+        offheap_mb=np.array([e.offheap_mb for e in executors], dtype=float),
+        disk_share=disk_share,
+        net_share=net_share,
+        env_cpu=np.array([e.cpu_factor for e in envs], dtype=float),
+        core_speed=cluster.instance.cpu_speed,
+        remote_nodes_fraction=remote_nodes_fraction,
+        cache_footprint=np.array([s.footprint_per_mb for s in statics]),
+        cache_read_cpu=np.array([s.read_cpu_s_per_mb for s in statics]),
+        cache_miss_to_disk=np.array([s.miss_to_disk for s in statics], dtype=bool),
+        cache_capacity=capacity,
+    )
+
+
+def compute_stage_cost_batch(
+    stage: StageProfile,
+    b: BatchInputs,
+    cached_mb: float,
+    recompute_cpu_s_per_mb: float,
+    recompute_io_mb_per_mb: float,
+    num_map_tasks: np.ndarray,
+    calib: Calibration | None = None,
+) -> StageCostBatch:
+    """Vectorized :func:`compute_stage_cost` over one batch of candidates.
+
+    ``cached_mb`` and the recompute means are the compiled plan's
+    registry snapshot for this stage; ``num_map_tasks`` is the
+    per-candidate upstream map-output count.  Stage-level data volumes
+    are scalars, so the scalar model's outer branches (has input / has
+    cached reads / has shuffle) are uniform across the batch; the
+    per-candidate branches inside them become masked contributions.
+    """
+    if calib is None:
+        calib = Calibration()
+    n = b.n
+    core_speed = b.core_speed
+
+    if stage.num_tasks_hint is not None:
+        n_tasks = np.full(n, max(1, int(stage.num_tasks_hint)), dtype=np.int64)
+    else:
+        n_tasks = np.maximum(1, b.parallelism)
+
+    # --- per-task data volumes ---------------------------------------------
+    input_pt = stage.input_mb / n_tasks
+    cached_pt = stage.cached_read_mb / n_tasks
+    shuffle_read_pt = stage.shuffle_read_mb / n_tasks
+    shuffle_write_pt = stage.shuffle_write_mb / n_tasks
+    output_pt = (stage.output_mb / n_tasks) if stage.writes_output else np.zeros(n)
+
+    # --- per-stage cache fit -----------------------------------------------
+    needed = cached_mb * b.cache_footprint
+    stored = np.minimum(needed, b.cache_capacity)
+    hit = np.divide(stored, needed, out=np.ones(n), where=needed != 0)
+
+    cpu = np.zeros(n)
+    disk = np.zeros(n)
+    net = np.zeros(n)
+
+    # --- operator computation -----------------------------------------------
+    cpu = cpu + stage.cpu_s / n_tasks / core_speed
+
+    # --- external input (HDFS-style: mostly node-local) ----------------------
+    if stage.input_mb > 0:
+        disk = disk + input_pt * (1.0 - b.remote_frac) / b.disk_share
+        net = net + input_pt * b.remote_frac / b.net_share
+
+    # --- cached input ---------------------------------------------------------
+    if stage.cached_read_mb > 0:
+        cpu = cpu + cached_pt * hit * b.cache_read_cpu / core_speed
+        cpu = cpu + cached_pt * hit / calib.cached_read_mb_s  # memory scan
+        miss = cached_pt * (1.0 - hit)
+        missed = miss > 0
+        to_disk = missed & b.cache_miss_to_disk
+        disk = disk + np.where(to_disk, miss / b.disk_share, 0.0)
+        cpu = cpu + np.where(to_disk, miss * b.ser_deserialize / core_speed, 0.0)
+        # Recompute the partition: re-run its producing chain (CPU) and
+        # re-read its inputs — shuffle re-fetches go over the network,
+        # source re-scans over the disk.
+        recompute = missed & ~b.cache_miss_to_disk
+        reread = miss * recompute_io_mb_per_mb
+        disk = disk + np.where(recompute, 0.4 * reread / b.disk_share, 0.0)
+        net = net + np.where(recompute, 0.6 * reread / b.net_share, 0.0)
+        cpu = cpu + np.where(
+            recompute,
+            miss * (recompute_cpu_s_per_mb + calib.recompute_cpu_s_per_mb) / core_speed,
+            0.0,
+        )
+
+    # --- shuffle read ----------------------------------------------------------
+    if stage.shuffle_read_mb > 0:
+        rf = max(0.0, min(1.0, b.remote_nodes_fraction + 0.05))
+        sr_cpu = shuffle_read_pt * b.ser_deserialize
+        sr_cpu = np.where(
+            b.shuffle_compress,
+            sr_cpu + shuffle_read_pt * b.codec_decompress, sr_cpu,
+        )
+        wire = np.where(
+            b.shuffle_compress, shuffle_read_pt * b.codec_ratio, shuffle_read_pt,
+        )
+        sr_cpu = sr_cpu + np.maximum(1, num_map_tasks) * b.per_block_s
+        cpu = cpu + sr_cpu / core_speed
+        disk = disk + wire * (1.0 - rf) / b.disk_share
+        net = net + wire * rf / b.net_share / b.fetch_efficiency
+
+    # --- shuffle write ----------------------------------------------------------
+    if stage.shuffle_write_mb > 0:
+        sw_cpu = shuffle_write_pt * b.ser_serialize
+        sw_cpu = np.where(
+            b.shuffle_compress,
+            sw_cpu + shuffle_write_pt * b.codec_compress, sw_cpu,
+        )
+        sw_disk = np.where(
+            b.shuffle_compress, shuffle_write_pt * b.codec_ratio, shuffle_write_pt,
+        )
+        bypass = b.parallelism <= b.bypass_threshold
+        flush = np.where(bypass, b.flush_base * 1.05, b.flush_base)
+        sw_cpu = np.where(bypass, sw_cpu, sw_cpu + shuffle_write_pt * 0.0030)
+        cpu = cpu + sw_cpu / core_speed
+        disk = disk + sw_disk * flush / b.disk_share
+
+    # --- final output ------------------------------------------------------------
+    if stage.writes_output and stage.output_mb > 0:
+        cpu = cpu + output_pt * b.ser_serialize / core_speed
+        disk = disk + output_pt / b.disk_share
+
+    # --- memory: spill or die ------------------------------------------------------
+    working_set = (
+        shuffle_read_pt * b.ser_expansion
+        + shuffle_write_pt * calib.shuffle_write_buffer_fraction * b.ser_expansion
+        + (input_pt + cached_pt) * calib.map_working_set_fraction * b.ser_expansion
+    )
+    storage_per_exec = stored / b.executors
+    available = (
+        np.maximum(0.0, b.unified_mb - np.minimum(storage_per_exec, b.immune_mb))
+        + b.offheap_mb
+    ) / b.concurrent
+    floor = 32.0 + working_set * stage.unspillable_fraction
+    oom = available < floor
+    spills = ~oom & (working_set > available)
+    spilled_raw = np.where(spills, working_set - available, 0.0)
+    merge_passes = np.where(spills, working_set // np.maximum(available, 1.0), 0.0)
+    spilled_logical = spilled_raw / b.ser_expansion
+    spill_cpu = spilled_logical * (b.ser_serialize + b.ser_deserialize)
+    spill_cpu = np.where(
+        b.spill_compress,
+        spill_cpu + spilled_logical * (b.codec_compress + b.codec_decompress),
+        spill_cpu,
+    )
+    spill_bytes = np.where(
+        b.spill_compress, spilled_logical * b.codec_ratio, spilled_logical,
+    )
+    spill_cpu = spill_cpu + merge_passes * spilled_logical * calib.spill_merge_cpu_s_per_mb
+    cpu = cpu + np.where(spills, spill_cpu / core_speed, 0.0)
+    disk = disk + np.where(spills, 2.0 * spill_bytes / b.disk_share, 0.0)
+
+    # --- GC pressure ----------------------------------------------------------------
+    resident = np.minimum(working_set, available) * b.concurrent
+    occupancy = (storage_per_exec + resident + RESERVED_MB) / np.maximum(b.heap_mb, 1.0)
+    # gc_fraction raises occupancy to the 4th power; numpy's pow kernel
+    # differs from Python's in the last ulp, so evaluate elementwise.
+    gc = np.array([gc_fraction(float(o)) for o in occupancy]) * cpu
+
+    # Interference slows computation too (shared cores / hyperthread pairs).
+    cpu = cpu * b.env_cpu
+    gc = gc * b.env_cpu
+
+    # --- scheduling idle from locality wait -------------------------------------------
+    effective_slots = b.executors * b.concurrent
+    waves = np.maximum(1.0, n_tasks / np.maximum(1, effective_slots))
+    idle = np.zeros(n)
+    if stage.input_mb > 0 or stage.cached_read_mb > 0:
+        raw_idle = np.minimum(
+            b.locality_wait, 0.02 * b.locality_wait * waves,
+        ) / waves
+        idle = np.where(b.locality_wait > 0, raw_idle, 0.0)
+
+    total = cpu + disk + net + gc + calib.task_launch_s + idle
+    driver = (
+        calib.driver_stage_overhead_s
+        + calib.driver_dispatch_s_per_task * n_tasks
+        + stage.collect_mb * calib.collect_s_per_mb
+    )
+    return StageCostBatch(
+        num_tasks=n_tasks,
+        cpu_s=cpu,
+        disk_s=disk,
+        net_s=net,
+        gc_s=gc,
+        idle_s=idle,
+        total_s=total,
+        driver_s=driver,
+        spilled_mb=spilled_logical,
+        spill_mb_total=spilled_logical * n_tasks,
+        oom=oom,
+    )

@@ -10,13 +10,24 @@ are truncated (Spark reads the cache instead of recomputing ancestors).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import networkx as nx
 
 from .rdd import RDD, Job
 
-__all__ = ["StageProfile", "JobPlan", "CacheRegistry", "compile_job"]
+__all__ = [
+    "StageProfile",
+    "JobPlan",
+    "CacheRegistry",
+    "compile_job",
+    "CompiledStage",
+    "CompiledJob",
+    "CompiledWorkload",
+    "compile_workload",
+    "fingerprint_jobs",
+]
 
 
 @dataclass
@@ -258,3 +269,135 @@ def _index_of(stages: list[StageProfile], stage_id: int) -> int:
 def _check_acyclic(plan: JobPlan) -> None:
     if not nx.is_directed_acyclic_graph(plan.graph()):
         raise ValueError(f"job {plan.job_name!r} compiled to a cyclic stage graph")
+
+
+# --- compiled (config-independent) execution plans ----------------------------
+#
+# Everything above — lineage walking, stage cutting, topological ordering,
+# and the cache-registry evolution across jobs — depends only on the
+# workload's job list, never on the configuration under test.  A
+# :class:`CompiledWorkload` captures all of it once so candidate
+# evaluations (and whole candidate *batches*) skip straight to costing.
+
+
+@dataclass(frozen=True)
+class CompiledStage:
+    """One stage in run order plus the cache-registry state it observes.
+
+    ``cached_mb`` and the recompute means are the registry snapshot taken
+    *before* the stage runs — exactly what the per-run loop read from its
+    live :class:`CacheRegistry`.  The registry's evolution is a pure
+    function of the job list (materializations and evictions are declared
+    by the compiled stages themselves), so snapshotting at compile time is
+    bit-identical to replaying it per run.
+    """
+
+    stage: StageProfile
+    cached_mb: float
+    recompute_cpu_s_per_mb: float
+    recompute_io_mb_per_mb: float
+
+
+@dataclass(frozen=True)
+class CompiledJob:
+    """One job's physical plan with its stages in execution order."""
+
+    job_name: str
+    plan: JobPlan
+    stages: tuple[CompiledStage, ...]
+
+
+@dataclass(frozen=True)
+class CompiledWorkload:
+    """The full config-independent execution plan of a workload run.
+
+    Plans are immutable once compiled: the simulator and the batch cost
+    model only ever read :class:`StageProfile` fields.  All per-run state
+    (noise rng, runtime accumulation, slot counts) stays per-candidate.
+    """
+
+    name: str
+    input_mb: float
+    #: content fingerprint of the job list (see :func:`fingerprint_jobs`);
+    #: empty for uncached ad-hoc compilations
+    fingerprint: str
+    jobs: tuple[CompiledJob, ...]
+
+    @property
+    def num_stages(self) -> int:
+        return sum(len(j.stages) for j in self.jobs)
+
+
+def fingerprint_jobs(jobs) -> str:
+    """Content digest of a job list, independent of global RDD ids.
+
+    RDD ids come from a process-global counter, so two calls to
+    ``workload.jobs()`` build structurally identical lineages with
+    different ids.  The digest renumbers nodes canonically (parents-first
+    DFS order) and hashes every cost-relevant field, so it is equal
+    exactly when the compiled plans would be equal — the key that keeps
+    two same-named workloads with different job lists from aliasing in
+    the simulator's plan cache.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    canonical: dict[int, int] = {}
+
+    def visit(node: RDD) -> int:
+        if node.id in canonical:
+            return canonical[node.id]
+        parent_idx = tuple(visit(p) for p in node.parents)
+        idx = len(canonical)
+        canonical[node.id] = idx
+        h.update(repr((
+            idx, parent_idx, node.op.kind, node.op.name, node.op.cpu_s_per_mb,
+            node.op.size_ratio, node.input_mb, node.size_mb, node.partitions,
+            node.record_bytes, node.cached, node.unspillable_fraction,
+        )).encode())
+        return idx
+
+    for job in jobs:
+        target = visit(job.target)
+        unpersist = tuple(visit(r) for r in job.unpersist_after)
+        h.update(repr((
+            "job", target, job.action, job.result_mb, job.writes_output,
+            unpersist,
+        )).encode())
+    return h.hexdigest()
+
+
+def compile_workload(name: str, input_mb: float, jobs,
+                     fingerprint: str = "") -> CompiledWorkload:
+    """Compile a job list into an immutable :class:`CompiledWorkload`.
+
+    Replays the exact per-run sequence: each job compiles against the
+    registry state left by its predecessors, each stage snapshots the
+    registry before running, materializations commit after each stage,
+    and unpersists apply after each job.
+    """
+    registry = CacheRegistry()
+    compiled_jobs: list[CompiledJob] = []
+    next_stage_id = 0
+    for job in jobs:
+        plan = compile_job(job, registry, first_stage_id=next_stage_id)
+        next_stage_id += plan.num_stages
+        steps: list[CompiledStage] = []
+        for stage in plan.topological():
+            steps.append(CompiledStage(
+                stage=stage,
+                cached_mb=registry.total_cached_mb,
+                recompute_cpu_s_per_mb=registry.mean_recompute_cpu_s_per_mb(),
+                recompute_io_mb_per_mb=registry.mean_recompute_io_mb_per_mb(),
+            ))
+            for rdd_id, mb, record_bytes in stage.materializes:
+                registry.materialize(
+                    rdd_id, mb, record_bytes,
+                    recompute_cpu_s_per_mb=stage.recompute_cpu_s_per_mb,
+                    recompute_io_mb_per_mb=stage.recompute_io_mb_per_mb,
+                )
+        for rdd in job.unpersist_after:
+            registry.evict(rdd.id)
+        compiled_jobs.append(CompiledJob(plan.job_name, plan, tuple(steps)))
+    return CompiledWorkload(
+        name=name, input_mb=float(input_mb), fingerprint=fingerprint,
+        jobs=tuple(compiled_jobs),
+    )

@@ -10,6 +10,7 @@ work — the classic tail-vs-waste trade-off.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -18,7 +19,7 @@ import numpy as np
 from .costmodel import Calibration
 from .metrics import TaskMetrics
 
-__all__ = ["StageSchedule", "schedule_stage"]
+__all__ = ["StageSchedule", "schedule_stage", "schedule_stage_batch"]
 
 
 @dataclass(frozen=True)
@@ -36,9 +37,10 @@ def _sample_durations(n_tasks: int, base_task_s: float, rng: np.random.Generator
     sigma = calib.task_noise_sigma
     durations = base_task_s * rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma, size=n_tasks)
     stragglers = rng.random(n_tasks) < calib.straggler_probability
-    if stragglers.any():
+    n_straggle = int(stragglers.sum())
+    if n_straggle:
         mult = 1.0 + rng.exponential(
-            calib.straggler_mean_multiplier - 1.0, size=int(stragglers.sum())
+            calib.straggler_mean_multiplier - 1.0, size=n_straggle,
         )
         durations[stragglers] *= mult
     return durations
@@ -97,7 +99,7 @@ def schedule_stage(n_tasks: int, base_task_s: float, slots: int,
     real = durations[:n_tasks]
     metrics = TaskMetrics(
         count=n_tasks,
-        mean_s=float(real.mean()),
+        mean_s=float(real.sum() / real.size),
         p50_s=float(np.median(real)),
         p95_s=float(np.quantile(real, 0.95)),
         max_s=float(real.max()),
@@ -119,17 +121,28 @@ def _list_schedule_heap(durations: np.ndarray, slots: int) -> float:
     n = len(durations)
     if n <= slots:
         return float(durations.max())
+    # [0.0] * slots is already a valid heap; peek + heapreplace is one C
+    # call per task instead of a pop/push pair, and iterating the
+    # ``tolist()`` floats skips per-element numpy-scalar unboxing.  The
+    # slot multiset evolves identically either way (each step removes
+    # the minimum value and inserts minimum + d), so the final makespan
+    # is bit-identical.
     heap = [0.0] * slots
-    heapq.heapify(heap)
-    for d in durations:
-        t = heapq.heappop(heap)
-        heapq.heappush(heap, t + float(d))
+    heapreplace = heapq.heapreplace
+    for d in durations.tolist():
+        heapreplace(heap, heap[0] + d)
     return max(heap)
 
 
 #: below this many slots the numpy chunk bookkeeping costs more than the
-#: plain heap loop it replaces
-_MIN_VECTOR_SLOTS = 20
+#: plain heap loop it replaces.  The crossover is measured by the
+#: scheduler microbench (BENCH_throughput.json) on durations drawn from
+#: the production noise model (``_sample_durations`` at the default
+#: calibration): parity at 32 slots, vectorized 2x/4x/7x faster at
+#: 64/128/256, heap 2x faster at 16.  Wider duration spreads shorten
+#: the safe prefix and move the crossover up — the microbench asserts
+#: the chosen path is never >1.5x slower than the rejected one.
+_MIN_VECTOR_SLOTS = 32
 
 #: chunks shorter than this are processed with the heap (numpy call
 #: overhead dominates tiny chunks)
@@ -163,13 +176,20 @@ def _list_schedule(durations: np.ndarray, slots: int) -> float:
     while pos < n:
         k = min(slots, n - pos)
         chunk = durations[pos:pos + k]
-        # Longest safe prefix: times[j] must not exceed any finish pushed
-        # earlier in the chunk (prefix-min of times[i] + d_i).
         finishes = times[:k] + chunk
-        prefix_min = np.minimum.accumulate(finishes)
-        unsafe = times[1:k] > prefix_min[: k - 1]
-        j = int(unsafe.argmax()) if k > 1 else 0
-        m = j + 1 if k > 1 and unsafe[j] else k
+        # Fast test first: when the chunk's shortest task covers the slot
+        # spread, every pop is safe (times[j] <= times[0] + min d <=
+        # times[i] + d_i for all i < j) — the common case for the tight
+        # task-noise distributions the simulator draws.
+        if times[k - 1] - times[0] <= chunk.min():
+            m = k
+        else:
+            # Longest safe prefix: times[j] must not exceed any finish
+            # pushed earlier in the chunk (prefix-min of times[i] + d_i).
+            prefix_min = np.minimum.accumulate(finishes)
+            unsafe = times[1:k] > prefix_min[: k - 1]
+            j = int(unsafe.argmax()) if k > 1 else 0
+            m = j + 1 if k > 1 and unsafe[j] else k
         if m >= _MIN_CHUNK:
             # The m popped slots finish at times[:m] + chunk[:m]; writing
             # them back in place and re-sorting realizes the new multiset.
@@ -179,9 +199,166 @@ def _list_schedule(durations: np.ndarray, slots: int) -> float:
             m = min(k, _MIN_CHUNK)
             heap = times.tolist()
             heapq.heapify(heap)
-            for d in chunk[:m]:
-                t = heapq.heappop(heap)
-                heapq.heappush(heap, t + float(d))
+            heapreplace = heapq.heapreplace
+            for d in chunk[:m].tolist():
+                heapreplace(heap, heap[0] + d)
             times = np.sort(heap)
         pos += m
     return float(times[-1])
+
+
+def _median_1d(x: np.ndarray) -> float:
+    """``float(np.median(x))`` for 1-D float arrays, minus the dispatch.
+
+    ``np.median`` spends most of its time in ``_ureduce`` axis machinery
+    — dozens of microseconds per call on the tiny per-stage arrays the
+    simulator reduces.  Selecting the middle element(s) with a direct
+    ``np.partition`` is bit-identical (numpy's own implementation does
+    exactly this before averaging) at a fraction of the overhead.
+    """
+    n = x.size
+    h = n // 2
+    part = x.copy()
+    if n % 2:
+        part.partition(h)
+        return float(part[h])
+    part.partition((h - 1, h))
+    return float((part[h - 1] + part[h]) / 2.0)
+
+
+def _quantile_1d(x: np.ndarray, q: float) -> float:
+    """``float(np.quantile(x, q))`` (linear method) without the dispatch.
+
+    Replicates numpy's virtual-index + lerp arithmetic exactly —
+    including the ``gamma >= 0.5`` symmetric-lerp branch — so results
+    are bit-identical to ``np.quantile`` for 1-D float input.
+    """
+    n = x.size
+    vi = q * (n - 1)
+    part = x.copy()
+    if vi >= n - 1:
+        part.partition(n - 1)
+        return float(part[n - 1])
+    lo = math.floor(vi)
+    g = vi - lo
+    part.partition((lo, lo + 1))
+    a = part[lo]
+    b = part[lo + 1]
+    diff = b - a
+    if g >= 0.5:
+        return float(b - diff * (1 - g))
+    return float(a + diff * g)
+
+
+def _median_quantile_1d(x: np.ndarray, q: float) -> tuple[float, float]:
+    """``(np.median(x), np.quantile(x, q))`` from one shared partition.
+
+    ``np.partition`` with several kth indices places the sorted-order
+    element at every requested position, so the median and quantile read
+    the exact values the separate calls would — one array copy and one
+    selection pass instead of two.
+    """
+    n = x.size
+    h = n // 2
+    vi = q * (n - 1)
+    at_end = vi >= n - 1
+    if at_end:
+        lo = n - 1
+        q_kth = (n - 1,)
+    else:
+        lo = math.floor(vi)
+        q_kth = (lo, lo + 1)
+    part = x.copy()
+    if n % 2:
+        part.partition((h,) + q_kth)
+        median = float(part[h])
+    else:
+        part.partition((h - 1, h) + q_kth)
+        median = float((part[h - 1] + part[h]) / 2.0)
+    if at_end:
+        return median, float(part[n - 1])
+    g = vi - lo
+    a = part[lo]
+    b = part[lo + 1]
+    diff = b - a
+    if g >= 0.5:
+        return median, float(b - diff * (1 - g))
+    return median, float(a + diff * g)
+
+
+def schedule_stage_batch(n_tasks, base_task_s, slots, spec_enabled,
+                         spec_multiplier, spec_quantile, rngs,
+                         calib: Calibration | None = None,
+                         noise: bool = True) -> list[StageSchedule]:
+    """Schedule one stage for N candidates; bit-identical to a loop of
+    :func:`schedule_stage`.
+
+    Every input is a per-candidate array (``rngs`` a list of generators,
+    one stream per candidate), and sampling stays per-candidate — each
+    rng must consume exactly the draws the scalar path would.  The cost
+    the batch path eliminates is the reduction dispatch: candidates tune
+    ``spark.default.parallelism``, so per-stage duration arrays differ in
+    length and cannot stack into one matrix; instead the median/quantile
+    calls that dominate scalar scheduling are answered by
+    :func:`_median_1d` / :func:`_quantile_1d`, partition-based replicas
+    with ~5-13x less per-call overhead and bitwise-equal results.
+    """
+    if calib is None:
+        calib = Calibration()
+    m = len(rngs)
+    # One bulk tolist() per input instead of m numpy-scalar unboxings.
+    n_list = np.asarray(n_tasks).tolist()
+    base_list = np.asarray(base_task_s, dtype=float).tolist()
+    slots_list = np.asarray(slots).tolist()
+    spec_list = np.asarray(spec_enabled).tolist()
+    mult_list = np.asarray(spec_multiplier, dtype=float).tolist()
+    q_list = np.asarray(spec_quantile, dtype=float).tolist()
+    schedules: list[StageSchedule] = []
+    for i in range(m):
+        n_i = int(n_list[i])
+        if n_i < 1:
+            raise ValueError("n_tasks must be >= 1")
+        slots_i = int(slots_list[i])
+        if slots_i < 1:
+            raise ValueError("slots must be >= 1")
+        base_i = base_list[i]
+        if base_i < 0:
+            raise ValueError("base_task_s must be non-negative")
+        if noise:
+            durations = _sample_durations(n_i, base_i, rngs[i], calib)
+        else:
+            durations = np.full(n_i, base_i)
+
+        speculated, wasted = 0, 0.0
+        if spec_list[i] and noise and n_i >= 4:
+            median, cutoff = _median_quantile_1d(durations, q_list[i])
+            threshold = median * max(1.01, mult_list[i])
+            candidates = durations > max(threshold, cutoff)
+            speculated = int(candidates.sum())
+            if speculated:
+                clamped = durations.copy()
+                finish_with_copy = threshold + median
+                clamped[candidates] = np.minimum(
+                    clamped[candidates], finish_with_copy,
+                )
+                wasted = float(speculated * median)
+                extra = np.full(speculated, _median_1d(clamped) * 0.5)
+                durations = np.concatenate([clamped, extra])
+
+        makespan = _list_schedule(durations, slots_i)
+        real = durations[:n_i]
+        p50, p95 = _median_quantile_1d(real, 0.95)
+        metrics = TaskMetrics(
+            count=n_i,
+            mean_s=float(real.sum() / real.size),
+            p50_s=p50,
+            p95_s=p95,
+            max_s=float(real.max()),
+        )
+        schedules.append(StageSchedule(
+            makespan_s=float(makespan),
+            task_metrics=metrics,
+            speculated_tasks=speculated,
+            wasted_task_seconds=wasted,
+        ))
+    return schedules

@@ -13,22 +13,43 @@ slots (:mod:`repro.sparksim.scheduler`).  Configurations that do not fit
 the cluster fail fast; tasks whose working set cannot even spill OOM and
 fail the application after retries — both produce the expensive crash
 behaviour Section IV of the paper describes.
+
+Two throughput layers sit on top of the single-run path:
+
+* a **compiled-plan cache**: the stage DAG and the cache-registry
+  evolution are config-independent, so each ``(workload, input_mb,
+  job-list fingerprint)`` compiles once and every candidate evaluation
+  replays the immutable :class:`~repro.sparksim.dag.CompiledWorkload`;
+* a **candidate-batched fast path** (:meth:`SparkSimulator.run_batch`)
+  that costs one stage for N configurations in single numpy passes and
+  batches the scheduler's statistics reductions, while preserving one
+  rng stream per candidate.  Its contract is *bit-identity*: the
+  results equal a loop of :meth:`SparkSimulator.run` exactly, including
+  OOM/reject candidates and injected faults (fault-struck candidates
+  drop out of the batch and finish on the scalar path).
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 import numpy as np
 
 from ..cloud.cluster import Cluster
 from ..cloud.interference import QUIET, Environment
 from ..config.constraints import grant_resources
-from .costmodel import Calibration, compute_stage_cost
-from .dag import CacheRegistry, compile_job
+from .costmodel import (
+    Calibration,
+    build_batch_inputs,
+    compute_stage_cost,
+    compute_stage_cost_batch,
+)
+from .dag import CompiledWorkload, compile_workload, fingerprint_jobs
 from .executor import ExecutorModel
 from .faults import NO_FAULTS, FaultPlan
 from .memory import plan_cache
 from .metrics import ExecutionResult, StageMetrics
-from .scheduler import schedule_stage
+from .scheduler import schedule_stage, schedule_stage_batch
 
 __all__ = ["SparkSimulator"]
 
@@ -55,24 +76,93 @@ class SparkSimulator:
         drawn deterministically from each run's seed (never from the
         noise stream), so injected scenarios are reproducible and a
         non-firing plan leaves results bit-identical to no plan.
+    plan_cache_size:
+        Number of compiled workload plans kept (LRU); 0 disables plan
+        caching and recompiles on every run (the throughput benchmark
+        uses this to measure the cache's contribution).  Plans are
+        immutable and config-independent; the cache only trades memory
+        for re-compilation time, never changes results.
     """
 
     def __init__(self, calibration: Calibration | None = None, noise: bool = True,
-                 fault_plan: FaultPlan | None = None):
+                 fault_plan: FaultPlan | None = None, plan_cache_size: int = 64):
         self.calibration = calibration or Calibration()
         self.noise = noise
         self.fault_plan = fault_plan
+        if plan_cache_size < 0:
+            raise ValueError("plan_cache_size must be >= 0")
+        self.plan_cache_size = plan_cache_size
+        # Identity tier: (id(workload), input_mb) -> (workload, compiled).
+        # Holding the workload object strongly pins its id, so a hit is
+        # guaranteed to be the same object (ids are only reused after
+        # collection).  Content tier: (name, input_mb, fingerprint) ->
+        # compiled, so equal-content workload *objects* share one plan
+        # while same-named workloads with different job lists never
+        # collide (the fingerprint is part of the key).
+        self._plan_cache_by_id: OrderedDict = OrderedDict()
+        self._plan_cache_by_content: OrderedDict = OrderedDict()
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
+    # --- plan cache -------------------------------------------------------
+    def compile_workload(self, workload, input_mb: float) -> CompiledWorkload:
+        """Return the (cached) compiled plan for ``workload`` at ``input_mb``.
+
+        Assumes ``workload.jobs()`` is pure (same object, same job list)
+        — true for every workload in :mod:`repro.workloads`.  Distinct
+        objects fall through to a content fingerprint, so two same-named
+        workloads with different job lists get distinct plans.
+        """
+        if self.plan_cache_size == 0:
+            self.plan_cache_misses += 1
+            return compile_workload(
+                workload.name, input_mb, workload.jobs(input_mb),
+            )
+        id_key = (id(workload), float(input_mb))
+        hit = self._plan_cache_by_id.get(id_key)
+        if hit is not None and hit[0] is workload:
+            self._plan_cache_by_id.move_to_end(id_key)
+            self.plan_cache_hits += 1
+            return hit[1]
+        jobs = workload.jobs(input_mb)
+        fingerprint = fingerprint_jobs(jobs)
+        content_key = (workload.name, float(input_mb), fingerprint)
+        compiled = self._plan_cache_by_content.get(content_key)
+        if compiled is not None:
+            self._plan_cache_by_content.move_to_end(content_key)
+            self.plan_cache_hits += 1
+        else:
+            self.plan_cache_misses += 1
+            compiled = compile_workload(
+                workload.name, input_mb, jobs, fingerprint=fingerprint,
+            )
+            self._plan_cache_by_content[content_key] = compiled
+            while len(self._plan_cache_by_content) > self.plan_cache_size:
+                self._plan_cache_by_content.popitem(last=False)
+        self._plan_cache_by_id[id_key] = (workload, compiled)
+        while len(self._plan_cache_by_id) > self.plan_cache_size:
+            self._plan_cache_by_id.popitem(last=False)
+        return compiled
+
+    # --- single-candidate path -------------------------------------------
     def run(self, workload, input_mb: float, cluster: Cluster, config,
             env: Environment = QUIET, seed: int = 0) -> ExecutionResult:
         """Execute ``workload`` at ``input_mb`` scale and return metrics."""
-        jobs = workload.jobs(input_mb)
-        return self.run_jobs(workload.name, input_mb, jobs, cluster, config,
-                             env=env, seed=seed)
+        compiled = self.compile_workload(workload, input_mb)
+        return self._run_compiled(compiled, cluster, config, env=env, seed=seed)
 
     def run_jobs(self, name: str, input_mb: float, jobs, cluster: Cluster,
                  config, env: Environment = QUIET, seed: int = 0) -> ExecutionResult:
+        """Execute an explicit job list (compiled fresh, uncached)."""
+        compiled = compile_workload(name, input_mb, jobs)
+        return self._run_compiled(compiled, cluster, config, env=env, seed=seed)
+
+    def _run_compiled(self, compiled: CompiledWorkload, cluster: Cluster,
+                      config, env: Environment = QUIET,
+                      seed: int = 0) -> ExecutionResult:
         calib = self.calibration
+        name = compiled.name
+        input_mb = compiled.input_mb
         rng = np.random.default_rng(seed)
         # Faults ride their own (salt, seed)-keyed stream: drawing them
         # never perturbs the noise rng, so a non-firing plan is a no-op.
@@ -100,21 +190,18 @@ class SparkSimulator:
         # concurrently running tasks is executors x (cores // task.cpus).
         slots = max(1, grant.executors * executor.concurrent_tasks)
         runtime = calib.app_startup_base_s + calib.app_startup_per_executor_s * grant.executors
-        registry = CacheRegistry()
         stage_metrics: list[StageMetrics] = []
         tasks_of_stage: dict[int, int] = {}
-        next_stage_id = 0
         ordinal = 0          # executed-stage counter; targets stage faults
 
-        for job in jobs:
+        for cjob in compiled.jobs:
             runtime += calib.job_submit_s
-            plan = compile_job(job, registry, first_stage_id=next_stage_id)
-            next_stage_id += plan.num_stages
-            for stage in plan.topological():
+            for cstage in cjob.stages:
+                stage = cstage.stage
                 cache = plan_cache(
-                    registry.total_cached_mb, grant.executors, executor, config,
-                    recompute_cpu_s_per_mb=registry.mean_recompute_cpu_s_per_mb(),
-                    recompute_io_mb_per_mb=registry.mean_recompute_io_mb_per_mb(),
+                    cstage.cached_mb, grant.executors, executor, config,
+                    recompute_cpu_s_per_mb=cstage.recompute_cpu_s_per_mb,
+                    recompute_io_mb_per_mb=cstage.recompute_io_mb_per_mb,
                 )
                 num_map_tasks = sum(
                     tasks_of_stage.get(dep, 0) for dep in stage.depends_on
@@ -214,14 +301,6 @@ class SparkSimulator:
                         writes_output=stage.writes_output,
                     )
                 )
-                for rdd_id, mb, record_bytes in stage.materializes:
-                    registry.materialize(
-                        rdd_id, mb, record_bytes,
-                        recompute_cpu_s_per_mb=stage.recompute_cpu_s_per_mb,
-                        recompute_io_mb_per_mb=stage.recompute_io_mb_per_mb,
-                    )
-            for rdd in job.unpersist_after:
-                registry.evict(rdd.id)
 
         if self.noise:
             runtime *= float(
@@ -239,6 +318,206 @@ class SparkSimulator:
             environment_factor=env.combined(),
             faults_injected=tuple(injected),
         )
+
+    # --- candidate-batched path ------------------------------------------
+    def run_batch(self, workload, input_mb: float, cluster: Cluster, configs,
+                  envs=None, seeds=None) -> list[ExecutionResult]:
+        """Evaluate many configurations of one workload; bit-identical to
+        ``[self.run(workload, input_mb, cluster, c, env=e, seed=s) ...]``.
+
+        ``envs``/``seeds`` default to ``QUIET``/``0`` for every candidate
+        (matching :meth:`run`'s defaults).  Candidates struck by
+        simulated faults finish on the scalar path; everything else runs
+        through one vectorized cost sweep per stage.
+        """
+        configs = list(configs)
+        n = len(configs)
+        envs = [QUIET] * n if envs is None else list(envs)
+        seeds = [0] * n if seeds is None else list(seeds)
+        if len(envs) != n or len(seeds) != n:
+            raise ValueError("configs, envs and seeds must have equal length")
+        if n == 0:
+            return []
+        compiled = self.compile_workload(workload, input_mb)
+        if n == 1:
+            return [self._run_compiled(compiled, cluster, configs[0],
+                                       env=envs[0], seed=seeds[0])]
+        return self._run_batch_compiled(compiled, cluster, configs, envs, seeds)
+
+    def _run_batch_compiled(self, compiled: CompiledWorkload, cluster: Cluster,
+                            configs, envs, seeds) -> list[ExecutionResult]:
+        calib = self.calibration
+        n = len(configs)
+        results: list[ExecutionResult | None] = [None] * n
+
+        # Screen candidates: simulated faults (stage targets, env spikes)
+        # perturb control flow mid-run, so those candidates take the
+        # scalar path; rejected grants fail before any rng draw and are
+        # also handled scalar (it is the same early-exit code).
+        # worker_crash is an infrastructure fault the simulator ignores.
+        scalar: list[int] = []
+        active: list[int] = []
+        grants = {}
+        for i in range(n):
+            faults = (
+                self.fault_plan.draw(seeds[i]) if self.fault_plan is not None
+                else NO_FAULTS
+            )
+            if (faults.loss_stage >= 0 or faults.straggler_stage >= 0
+                    or faults.oom_stage >= 0 or faults.env_multiplier > 1.0):
+                scalar.append(i)
+                continue
+            grant = grant_resources(configs[i], cluster)
+            if grant.executors < 1:
+                scalar.append(i)
+                continue
+            grants[i] = grant
+            active.append(i)
+
+        if active:
+            self._run_active_batch(compiled, cluster, configs, envs, seeds,
+                                   active, grants, results)
+        for i in scalar:
+            results[i] = self._run_compiled(compiled, cluster, configs[i],
+                                            env=envs[i], seed=seeds[i])
+        return results  # type: ignore[return-value]
+
+    def _run_active_batch(self, compiled, cluster, configs, envs, seeds,
+                          active, grants, results) -> None:
+        """Vectorized sweep over the fault-free, granted candidates."""
+        calib = self.calibration
+        m = len(active)
+        cfgs = [configs[i] for i in active]
+        grant_list = [grants[i] for i in active]
+        executors = [ExecutorModel.from_config(c) for c in cfgs]
+        b = build_batch_inputs(cfgs, cluster, grant_list, executors,
+                               [envs[i] for i in active])
+        rngs = [np.random.default_rng(seeds[i]) for i in active]
+        slots = np.maximum(
+            1, b.executors * b.concurrent
+        )
+        runtime = (
+            calib.app_startup_base_s
+            + calib.app_startup_per_executor_s * b.executors
+        )
+        runtime = np.asarray(runtime, dtype=float)
+        alive = np.ones(m, dtype=bool)
+        stage_lists: list[list[StageMetrics]] = [[] for _ in range(m)]
+        tasks_of_stage: dict[int, np.ndarray] = {}
+        zero_tasks = np.zeros(m, dtype=np.int64)
+
+        for cjob in compiled.jobs:
+            runtime = runtime + calib.job_submit_s
+            for cstage in cjob.stages:
+                if not alive.any():
+                    break
+                stage = cstage.stage
+                num_map = zero_tasks
+                for dep in stage.depends_on:
+                    num_map = num_map + tasks_of_stage.get(dep, zero_tasks)
+                cost = compute_stage_cost_batch(
+                    stage, b, cstage.cached_mb,
+                    cstage.recompute_cpu_s_per_mb,
+                    cstage.recompute_io_mb_per_mb,
+                    num_map, calib,
+                )
+                tasks_of_stage[stage.stage_id] = cost.num_tasks
+
+                newly_oom = alive & cost.oom
+                for k in np.flatnonzero(newly_oom):
+                    k = int(k)
+                    # Retries then application abort — same arithmetic as
+                    # the scalar early exit, from the batch arrays.
+                    wasted = float(cost.total_s[k]) * _MAX_ATTEMPTS + float(cost.driver_s[k])
+                    runtime[k] += wasted
+                    stage_lists[k].append(StageMetrics(
+                        stage_id=stage.stage_id, name=stage.name,
+                        num_tasks=int(cost.num_tasks[k]), duration_s=wasted,
+                        input_mb=stage.input_mb,
+                        cached_read_mb=stage.cached_read_mb,
+                        shuffle_read_mb=stage.shuffle_read_mb,
+                        shuffle_write_mb=stage.shuffle_write_mb,
+                        spill_mb=0.0, cpu_time_s=0.0, gc_time_s=0.0,
+                        io_time_s=0.0, net_time_s=0.0, failed=True,
+                    ))
+                    results[active[k]] = ExecutionResult(
+                        workload=compiled.name, input_mb=compiled.input_mb,
+                        runtime_s=float(runtime[k]), success=False,
+                        stages=stage_lists[k],
+                        executors_granted=int(b.executors[k]),
+                        executors_requested=int(b.requested[k]),
+                        total_slots=int(slots[k]),
+                        failure_reason=(
+                            f"OOM in stage {stage.stage_id} ({stage.name}): "
+                            f"task working set {float(cost.spilled_mb[k]) + 0:.0f}MB+ "
+                            f"exceeds executor execution memory"
+                        ),
+                        environment_factor=envs[active[k]].combined(),
+                        faults_injected=(),
+                    )
+                    alive[k] = False
+
+                live = np.flatnonzero(alive)
+                if live.size == 0:
+                    continue
+                schedules = schedule_stage_batch(
+                    cost.num_tasks[live], cost.total_s[live], slots[live],
+                    b.speculation[live], b.spec_multiplier[live],
+                    b.spec_quantile[live], [rngs[k] for k in live],
+                    calib=calib, noise=self.noise,
+                )
+                makespans = np.array([s.makespan_s for s in schedules])
+                elapsed = makespans + cost.driver_s[live]
+                runtime[live] = runtime[live] + elapsed
+                # One bulk unbox per array instead of a numpy scalar
+                # lookup per field per candidate; tolist() yields the
+                # same Python floats/ints bit for bit.
+                elapsed_l = elapsed.tolist()
+                ntasks_l = cost.num_tasks[live].tolist()
+                spill_l = cost.spill_mb_total[live].tolist()
+                cpu_l = cost.cpu_s[live].tolist()
+                gc_l = cost.gc_s[live].tolist()
+                disk_l = cost.disk_s[live].tolist()
+                net_l = cost.net_s[live].tolist()
+                out_mb = stage.output_mb if stage.writes_output else 0.0
+                for pos, k in enumerate(live.tolist()):
+                    n_k = ntasks_l[pos]
+                    stage_lists[k].append(StageMetrics(
+                        stage_id=stage.stage_id,
+                        name=stage.name,
+                        num_tasks=n_k,
+                        duration_s=elapsed_l[pos],
+                        input_mb=stage.input_mb,
+                        cached_read_mb=stage.cached_read_mb,
+                        shuffle_read_mb=stage.shuffle_read_mb,
+                        shuffle_write_mb=stage.shuffle_write_mb,
+                        spill_mb=spill_l[pos],
+                        cpu_time_s=cpu_l[pos] * n_k,
+                        gc_time_s=gc_l[pos] * n_k,
+                        io_time_s=disk_l[pos] * n_k,
+                        net_time_s=net_l[pos] * n_k,
+                        task_metrics=schedules[pos].task_metrics,
+                        output_mb=out_mb,
+                        writes_output=stage.writes_output,
+                    ))
+
+        sigma = calib.run_noise_sigma
+        for k in np.flatnonzero(alive):
+            k = int(k)
+            final = float(runtime[k])
+            if self.noise:
+                final *= float(
+                    rngs[k].lognormal(mean=-0.5 * sigma**2, sigma=sigma)
+                )
+            results[active[k]] = ExecutionResult(
+                workload=compiled.name, input_mb=compiled.input_mb,
+                runtime_s=final, success=True, stages=stage_lists[k],
+                executors_granted=int(b.executors[k]),
+                executors_requested=int(b.requested[k]),
+                total_slots=int(slots[k]),
+                environment_factor=envs[active[k]].combined(),
+                faults_injected=(),
+            )
 
     @staticmethod
     def _failed_stage(stage, cost, wasted: float) -> StageMetrics:

@@ -252,7 +252,10 @@ class SimulationObjective:
 
     def resolve(self, config) -> tuple[Cluster, Configuration]:
         """Split a (possibly joint) configuration into cluster + full Spark config."""
-        values = dict(config)
+        # Copy the backing dict directly when the tuner hands us a
+        # Configuration — dict(mapping) walks __iter__/__getitem__.
+        backing = getattr(config, "_values", None)
+        values = dict(backing) if backing is not None else dict(config)
         instance = values.pop("cloud.instance_type", None)
         size = values.pop("cloud.cluster_size", None)
         if instance is not None:

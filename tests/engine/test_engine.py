@@ -202,3 +202,54 @@ class TestBatchedTunerDriver:
         assert result.history == tuner.history       # same records, no forks
         assert all(o is h for o, h in zip(result.history, tuner.history))
         assert all(o.succeeded is not None for o in result.history)
+
+
+class TestExecutorKind:
+    def test_serial_engine_reports_serial(self):
+        engine = EvaluationEngine()
+        assert engine.executor_kind == "serial"
+        assert engine.counters()["executor_kind"] == "serial"
+
+    def test_process_engine_reports_process(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        with EvaluationEngine(executor="process") as engine:
+            assert engine.executor_kind == "process"
+            assert engine.counters()["executor_kind"] == "process"
+
+    def test_single_core_host_downgrades_process_to_serial(self, monkeypatch):
+        # A pool of one worker is pure overhead: fork + pickle per chunk
+        # with zero parallelism.  The engine must resolve to serial.
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        with EvaluationEngine(executor="process") as engine:
+            assert engine.executor_kind == "serial"
+            objective = _objective(engine)
+            cost = objective(_configs(1)[0])
+            assert cost > 0
+
+    def test_custom_executor_reports_class_name(self):
+        class Fake:
+            def run_batch(self, requests):
+                raise NotImplementedError
+
+        engine = EvaluationEngine(executor=Fake())
+        assert engine.executor_kind == "Fake"
+
+
+class TestSerialExecutorGrouping:
+    def test_grouped_and_ungrouped_records_are_identical(self):
+        from repro.engine.executors import SerialExecutor
+        from repro.sparksim import SparkSimulator
+
+        def campaign(group_batches):
+            sim = SparkSimulator()
+            executor = SerialExecutor(sim, group_batches=group_batches)
+            with EvaluationEngine(simulator=sim, executor=executor) as engine:
+                objective = _objective(engine)
+                tuner = RandomSearchTuner(SPACE, seed=21)
+                return run_tuner_batched(tuner, objective, budget=15,
+                                         batch_size=5)
+
+        grouped = campaign(True)
+        ungrouped = campaign(False)
+        assert [o.cost for o in grouped.history] == \
+               [o.cost for o in ungrouped.history]

@@ -1,0 +1,154 @@
+"""Property tests: ``run_batch`` is bit-identical to a loop of ``run()``.
+
+The candidate-batched fast path (plan cache + struct-of-arrays stage
+costing) is an optimisation, not an approximation: every
+:class:`ExecutionResult` it produces must equal, field for field, what
+the scalar path returns for the same (config, env, seed).  These tests
+drive the contract across workloads, seeds, environments, batch sizes,
+fault plans, and candidate mixes that include cluster-manager rejections
+and OOM-failing configurations.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import Cluster
+from repro.cloud.interference import NOISY, QUIET, TYPICAL
+from repro.config.spark_params import spark_space
+from repro.sparksim import SparkSimulator
+from repro.sparksim.faults import (
+    FaultPlan,
+    env_spike,
+    executor_loss,
+    oom_kill,
+    straggler,
+)
+from repro.workloads import KMeans, Sort, Wordcount
+
+CLUSTER = Cluster.of("m5.2xlarge", 4)
+SPACE = spark_space()
+ENVS = (QUIET, TYPICAL, NOISY)
+WORKLOADS = (
+    (Sort(), 1024.0),
+    (Wordcount(), 768.0),
+    (KMeans(), 512.0),
+)
+PLANS = (
+    None,
+    FaultPlan(),                      # a plan with no specs never fires
+    FaultPlan((executor_loss(0.5, fraction=0.4, span=2),
+               straggler(0.4, slowdown=4.0, span=2))),
+    FaultPlan((oom_kill(0.5, span=2), env_spike(0.4, multiplier=2.0))),
+)
+
+#: forces the cluster-manager rejection path: no node fits the container
+REJECT = {"spark.executor.memory": 262144}
+#: forces the OOM path: minimal per-task execution memory (512 MiB heap
+#: split across 8 concurrent tasks leaves less than the 32 MiB floor),
+#: so a task's working set cannot even spill
+OOM = {
+    "spark.executor.memory": 512,
+    "spark.executor.cores": 8,
+    "spark.task.cpus": 1,
+    "spark.executor.instances": 4,
+    "spark.memory.fraction": 0.3,
+    "spark.memory.storageFraction": 0.9,
+    "spark.memory.offHeap.enabled": False,
+    "spark.memory.offHeap.size": 0,
+    "spark.default.parallelism": 8,
+}
+
+
+def _candidates(rng, n, include_failures):
+    configs = [SPACE.sample_configuration(rng) for _ in range(n)]
+    if include_failures and n >= 2:
+        configs[-1] = configs[-1].replace(**REJECT)
+        configs[-2] = configs[-2].replace(**OOM)
+    return configs
+
+
+def _assert_batch_identity(sim, workload, input_mb, configs, envs, seeds):
+    batch = sim.run_batch(workload, input_mb, CLUSTER, configs,
+                          envs=envs, seeds=seeds)
+    scalar = [
+        sim.run(workload, input_mb, CLUSTER, c, env=e, seed=s)
+        for c, e, s in zip(configs, envs, seeds)
+    ]
+    assert batch == scalar
+    return batch
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=len(WORKLOADS) - 1),
+    st.integers(min_value=0, max_value=len(PLANS) - 1),
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.booleans(),
+)
+def test_run_batch_matches_scalar_loop(w_idx, plan_idx, batch_size, seed,
+                                       include_failures):
+    workload, input_mb = WORKLOADS[w_idx]
+    rng = np.random.default_rng(seed)
+    configs = _candidates(rng, batch_size, include_failures)
+    envs = [ENVS[i % len(ENVS)] for i in range(batch_size)]
+    seeds = [seed + 17 * i for i in range(batch_size)]
+    sim = SparkSimulator(fault_plan=PLANS[plan_idx])
+    _assert_batch_identity(sim, workload, input_mb, configs, envs, seeds)
+
+
+def test_failure_paths_are_exercised_and_identical():
+    """The deterministic mix really hits reject, OOM, and fault aborts."""
+    rng = np.random.default_rng(7)
+    configs = _candidates(rng, 6, include_failures=True)
+    envs = [ENVS[i % len(ENVS)] for i in range(6)]
+    seeds = list(range(6))
+    sim = SparkSimulator(fault_plan=FaultPlan((straggler(1.0, slowdown=3.0),)))
+    batch = _assert_batch_identity(sim, Sort(), 1024.0, configs, envs, seeds)
+
+    reasons = [r.failure_reason for r in batch if not r.success]
+    assert any("does not fit" in (m or "") for m in reasons), reasons
+    assert any("OOM in stage" in (m or "") for m in reasons), reasons
+    assert any(r.faults_injected for r in batch)
+
+
+def test_noise_off_batch_identity():
+    rng = np.random.default_rng(3)
+    configs = _candidates(rng, 5, include_failures=True)
+    sim = SparkSimulator(noise=False)
+    _assert_batch_identity(sim, Sort(), 1024.0, configs,
+                           [QUIET] * 5, [0] * 5)
+
+
+def test_batch_of_one_and_empty():
+    rng = np.random.default_rng(4)
+    (config,) = _candidates(rng, 1, include_failures=False)
+    sim = SparkSimulator()
+    assert sim.run_batch(Sort(), 512.0, CLUSTER, []) == []
+    _assert_batch_identity(sim, Sort(), 512.0, [config], [TYPICAL], [9])
+
+
+def test_histories_identical_under_engine_batching():
+    """End to end: identical observation histories through the engine."""
+    from repro.engine import EngineObjective, EvaluationEngine
+    from repro.engine.executors import SerialExecutor
+    from repro.tuning import RandomSearchTuner, run_tuner_batched
+
+    def campaign(simulator, executor):
+        with EvaluationEngine(simulator=simulator, executor=executor) as eng:
+            objective = EngineObjective(eng, Sort(), 1024.0, cluster=CLUSTER,
+                                        repair=True, seed=5)
+            return run_tuner_batched(
+                RandomSearchTuner(spark_space(), seed=11), objective,
+                budget=24, batch_size=8,
+            )
+
+    sim_a = SparkSimulator()
+    batched = campaign(sim_a, SerialExecutor(sim_a, group_batches=True))
+    sim_b = SparkSimulator()
+    scalar = campaign(sim_b, SerialExecutor(sim_b, group_batches=False))
+    assert [o.cost for o in batched.history] == \
+           [o.cost for o in scalar.history]
+    assert [o.config for o in batched.history] == \
+           [o.config for o in scalar.history]
