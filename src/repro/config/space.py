@@ -250,6 +250,11 @@ class Configuration(Mapping):
     # per evaluation (tuner-side repair, then the simulator).
     __slots__ = ("_values", "_hash", "_fingerprint", "_grant")
 
+    _values: dict[str, Any]
+    _hash: int | None
+    _fingerprint: str | None
+    _grant: tuple[Any, Any] | None
+
     def __init__(self, values: Mapping[str, Any]):
         self._values = dict(values)
         self._hash = None

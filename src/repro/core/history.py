@@ -11,7 +11,7 @@ across tenants (labels are per-tenant opaque strings).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -20,8 +20,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from ..cloud.cluster import Cluster
 from ..cloud.interference import QUIET, InterferenceModel
 from ..cloud.pricing import CostLedger

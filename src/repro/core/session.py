@@ -15,7 +15,7 @@ import numpy as np
 
 from ..cloud.cluster import Cluster
 from ..cloud.pricing import CostLedger
-from ..config.space import Configuration, ConfigurationSpace
+from ..config.space import Configuration
 from ..sparksim.metrics import ExecutionResult
 from ..tuning.base import (
     SimulationObjective,

@@ -42,7 +42,7 @@ def config_fingerprint(config: Mapping[str, Any]) -> str:
     try:
         # Configuration reserves a slot for exactly this memo; other
         # mappings (plain dicts, test doubles) simply skip it.
-        config._fingerprint = digest
+        config._fingerprint = digest  # type: ignore[attr-defined]
     except (AttributeError, TypeError):
         pass
     return digest

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
+from typing import Any, ClassVar
 
 from ..cloud.cluster import Cluster
 from ..cloud.interference import QUIET, Environment
@@ -47,6 +48,10 @@ class EvalRequest:
     #: cache key: results are pure functions of the request identity, so
     #: a retried request must answer — and memoize — identically.
     attempt: int = 0
+
+    #: fields outside the evaluation identity; staticcheck rule RS006
+    #: verifies cache_key() covers everything else and never reads these
+    _cache_key_excluded: ClassVar[tuple[str, ...]] = ("attempt",)
 
     def cache_key(self) -> tuple:
         return (
@@ -86,6 +91,9 @@ class EvaluationEngine:
         when the engine degrades to serial execution.  On by default;
         pass ``None`` to fail fast on the first executor error.
     """
+
+    #: duck-typed: SerialExecutor, ParallelExecutor, or any run_batch() object
+    _executor: Any
 
     def __init__(self, simulator: SparkSimulator | None = None,
                  executor: str | object = "serial",
@@ -150,9 +158,9 @@ class EvaluationEngine:
             return "process"
         return type(self._executor).__name__
 
-    def counters(self) -> dict[str, float]:
+    def counters(self) -> dict[str, Any]:
         """Flat snapshot: hit/miss/latency plus failure/retry/degradation."""
-        snap = self.stats.snapshot()
+        snap: dict[str, Any] = dict(self.stats.snapshot())
         snap.update(n_requested=self.n_requested, n_evaluated=self.n_evaluated,
                     n_env_distinct_misses=self.n_env_distinct_misses)
         snap.update(self.failures.snapshot())
@@ -304,10 +312,11 @@ class EvaluationEngine:
 
     def _handle_pool_failure(self) -> None:
         """Rebuild a broken pool; degrade to serial once failures repeat."""
-        if not hasattr(self._executor, "rebuild"):
+        policy = self.retry
+        if policy is None or not hasattr(self._executor, "rebuild"):
             return
         self._pool_failures += 1
-        if self._pool_failures >= self.retry.degrade_after:
+        if self._pool_failures >= policy.degrade_after:
             self._degrade_to_serial()
         else:
             self._executor.rebuild()

@@ -19,7 +19,7 @@ hooks :mod:`repro.engine.retry`-driven dispatch needs to survive
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures import Future, ProcessPoolExecutor, wait
 
 from ..sparksim.costmodel import Calibration
 from ..sparksim.faults import FaultPlan
@@ -219,7 +219,8 @@ class ParallelExecutor:
             requests[i:i + chunksize]
             for i in range(0, len(requests), chunksize)
         ]
-        futures, error = [], None
+        futures: list[Future | None] = []
+        error: Exception | None = None
         for chunk in chunks:
             try:
                 futures.append(self._pool.submit(_run_chunk, chunk))
@@ -229,7 +230,9 @@ class ParallelExecutor:
         # A broken pool settles every future immediately, so waiting for
         # all of them never blocks on a crash — only on a real deadline.
         live = [f for f in futures if f is not None]
-        _, not_done = wait(live, timeout=timeout_s) if live else (set(), set())
+        not_done: set[Future] = set()
+        if live:
+            _, not_done = wait(live, timeout=timeout_s)
         if not_done:
             error = error or TimeoutError(
                 f"{len(not_done)} chunk(s) unfinished after {timeout_s}s"

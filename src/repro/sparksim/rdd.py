@@ -13,7 +13,7 @@ applying an operator per MB of *its input* on a reference core.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["RDD", "Job"]
 

@@ -1,0 +1,117 @@
+"""``python -m repro.staticcheck`` — lint the repo's invariants.
+
+Usage::
+
+    python -m repro.staticcheck                  # lint src/repro + domain
+    python -m repro.staticcheck src/repro        # explicit paths
+    python -m repro.staticcheck --format json path/to/file.py
+    python -m repro.staticcheck --list-rules
+    python -m repro.staticcheck --rules RS001,RS004 src/repro
+    python -m repro.staticcheck --no-domain tests/staticcheck/fixtures
+
+Exit codes: 0 clean, 1 findings, 2 usage / IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .model import LintResult
+from .reporter import render_json, render_text
+from .rules import get_rules, rule_catalogue
+from .runner import lint_paths
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.staticcheck",
+        description=(
+            "AST invariant linter + config-space validator for the repro "
+            "package: determinism, cache-key purity, and domain sanity."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/repro if it exists)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules", metavar="IDS",
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--no-domain", action="store_true",
+        help="skip the config-space/workload domain validator",
+    )
+    parser.add_argument(
+        "--ignore-scopes", action="store_true",
+        help="apply every rule to every file, ignoring path scopes",
+    )
+    return parser
+
+
+def _default_paths() -> list[str]:
+    candidate = Path("src") / "repro"
+    if candidate.is_dir():
+        return [str(candidate)]
+    # Fall back to the installed package location (running from elsewhere).
+    return [str(Path(__file__).resolve().parent.parent)]
+
+
+def _print_catalogue() -> None:
+    for row in rule_catalogue():
+        scope = ", ".join(row["scope"]) if row["scope"] else "all files"
+        print(f"{row['id']}  [{row['severity']}]  {row['summary']}")
+        print(f"       scope: {scope}")
+        print(f"       {row['rationale']}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_catalogue()
+        return 0
+    try:
+        rules = get_rules(args.rules.split(",")) if args.rules else get_rules()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    paths = args.paths or _default_paths()
+    try:
+        result = lint_paths(paths, rules=rules,
+                            respect_scopes=not args.ignore_scopes)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if not args.no_domain:
+        domain = LintResult(findings=list(_run_domain()))
+        result.extend(domain)
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.clean else 1
+
+
+def _run_domain():
+    from .domain import validate_default_domain
+
+    return validate_default_domain()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

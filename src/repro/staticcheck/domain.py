@@ -1,0 +1,279 @@
+"""Domain validator: configuration spaces, constraints, workloads.
+
+A malformed search space is the config-tuning equivalent of a type
+error — a default outside its bounds, a constraint referencing a knob
+that does not exist, or a space none of whose grid corners can even be
+granted resources will burn a whole tuning budget before anyone notices.
+This module *imports* the space/workload/constraint definitions and
+checks them statically (no simulation runs), producing the same
+:class:`~repro.staticcheck.model.Finding` records as the AST linter:
+
+========  ==============================================================
+RD001     parameter default fails its own ``validate()``
+RD002     unit-interval encoding does not round-trip the default
+RD003     constraint references a parameter the space does not define
+RD004     no feasible grid corner: every low/high/default corner is
+          denied resources on every reference cluster
+RD005     wide numeric range (>= 100x) not log-scaled
+RD006     categorical parameter with duplicate or missing-default choices
+RD007     workload registry entry broken (bad name, inputs, or job list)
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..cloud.cluster import Cluster
+from ..config.constraints import grant_resources
+from ..config.space import (
+    CategoricalParameter,
+    Configuration,
+    ConfigurationSpace,
+    _NumericParameter,
+)
+from .model import Finding, Severity
+
+__all__ = [
+    "ConstraintSpec",
+    "RESOURCE_PACKING",
+    "validate_space",
+    "validate_workloads",
+    "validate_default_domain",
+]
+
+#: ranges spanning at least this many multiples should be log-scaled
+_LOG_SPAN_THRESHOLD = 100.0
+
+
+@dataclass(frozen=True)
+class ConstraintSpec:
+    """A declared cross-parameter constraint and the knobs it reads.
+
+    The packing logic itself lives in :mod:`repro.config.constraints`;
+    this record makes its *parameter footprint* explicit so the validator
+    can detect a constraint whose knobs drifted out of the space (or were
+    renamed) — the "dangling constraint" failure mode.
+    """
+
+    name: str
+    params: tuple[str, ...]
+    description: str = ""
+
+    def anchored_in(self, space: ConfigurationSpace) -> bool:
+        """Whether any of this constraint's parameters exist in ``space``."""
+        return any(p in space for p in self.params)
+
+
+#: the YARN-style packing constraint grant_resources() evaluates
+RESOURCE_PACKING = ConstraintSpec(
+    name="resource-packing",
+    params=(
+        "spark.executor.instances",
+        "spark.executor.cores",
+        "spark.executor.memory",
+    ),
+    description=(
+        "executor containers (heap x (1+overhead), cores) must pack onto "
+        "cluster nodes alongside the driver; see "
+        "repro.config.constraints.grant_resources"
+    ),
+)
+
+
+def _finding(source: str, rule_id: str, message: str,
+             severity: Severity = Severity.ERROR) -> Finding:
+    return Finding(path=source, line=0, col=0, rule_id=rule_id,
+                   message=message, severity=severity)
+
+
+def _roundtrips(param, value) -> bool:
+    decoded = param.from_unit(param.to_unit(value))
+    if isinstance(value, float) and not isinstance(value, bool):
+        if value == 0:
+            return abs(decoded) < 1e-12
+        return math.isclose(decoded, value, rel_tol=1e-9)
+    return decoded == value
+
+
+def validate_space(space: ConfigurationSpace,
+                   constraints: Iterable[ConstraintSpec] = (),
+                   clusters: Iterable[Cluster] = ()) -> list[Finding]:
+    """Statically validate one configuration space.
+
+    ``constraints`` that touch none of the space's parameters are
+    ignored (a DISC constraint is not dangling merely because a pure
+    cloud space is being validated); once *anchored* — at least one
+    referenced parameter present — every referenced parameter must
+    exist.  ``clusters`` are the reference deployments for the RD004
+    feasibility probe; with none supplied the probe is skipped.
+    """
+    source = f"<space:{space.name}>"
+    findings: list[Finding] = []
+
+    for param in space.parameters:
+        label = f"{space.name}.{param.name}"
+        # RD001: the default must satisfy the parameter's own validator.
+        try:
+            param.validate(param.default)
+        except ValueError as exc:
+            findings.append(_finding(
+                source, "RD001", f"default of {label} is invalid: {exc}"))
+            continue
+        # RD002: encode/decode must round-trip the default, or every
+        # surrogate-model tuner observes a configuration it never chose.
+        try:
+            ok = _roundtrips(param, param.default)
+        except (ValueError, OverflowError, ZeroDivisionError) as exc:
+            ok = False
+            findings.append(_finding(
+                source, "RD002",
+                f"unit encoding of {label} raised on its own default: {exc}"))
+        else:
+            if not ok:
+                findings.append(_finding(
+                    source, "RD002",
+                    f"unit encoding of {label} does not round-trip its "
+                    f"default {param.default!r} -> "
+                    f"{param.from_unit(param.to_unit(param.default))!r}"))
+        # RD005: a wide numeric span without log scaling wastes most of
+        # the unit interval on the top decade.
+        if isinstance(param, _NumericParameter) and not param.log:
+            if param.low > 0 and param.high / param.low >= _LOG_SPAN_THRESHOLD:
+                findings.append(_finding(
+                    source, "RD005",
+                    f"{label} spans {param.high / param.low:.0f}x "
+                    f"({param.low}..{param.high}) without log scaling",
+                    severity=Severity.WARNING))
+        # RD006: categorical integrity (normally constructor-enforced,
+        # re-checked here because spaces can be built programmatically).
+        if isinstance(param, CategoricalParameter):
+            if len(set(param.choices)) != len(param.choices):
+                findings.append(_finding(
+                    source, "RD006", f"{label} has duplicate choices"))
+            if param.default not in param.choices:
+                findings.append(_finding(
+                    source, "RD006",
+                    f"default {param.default!r} of {label} not among its "
+                    f"choices"))
+
+    # RD003: anchored constraints must resolve every parameter they read.
+    anchored = [c for c in constraints if c.anchored_in(space)]
+    for constraint in anchored:
+        for name in constraint.params:
+            if name not in space:
+                findings.append(_finding(
+                    source, "RD003",
+                    f"constraint {constraint.name!r} references "
+                    f"{name!r}, which {space.name!r} does not define"))
+
+    # RD004: at least one grid corner must be grantable somewhere.
+    clusters = list(clusters)
+    if clusters and not any(f.rule_id == "RD003" for f in findings):
+        packing = [c for c in anchored if c.name == RESOURCE_PACKING.name]
+        if packing and all(p in space for p in RESOURCE_PACKING.params):
+            findings.extend(_check_feasible_corners(space, clusters, source))
+
+    return findings
+
+
+def _corner_configs(space: ConfigurationSpace) -> list[Configuration]:
+    """Default plus the all-low / all-high corners of the resource knobs."""
+    default = space.default_configuration()
+    corners = [default]
+    for u in (0.0, 1.0):
+        updates = {
+            name: space[name].from_unit(u)
+            for name in RESOURCE_PACKING.params
+            if name in space
+        }
+        corners.append(default.replace(**updates))
+    return corners
+
+
+def _check_feasible_corners(space: ConfigurationSpace,
+                            clusters: list[Cluster],
+                            source: str) -> list[Finding]:
+    feasible = any(
+        grant_resources(corner, cluster).executors >= 1
+        for corner in _corner_configs(space)
+        for cluster in clusters
+    )
+    if feasible:
+        return []
+    return [_finding(
+        source, "RD004",
+        f"no feasible grid corner: default and low/high resource corners "
+        f"of {space.name!r} are all denied resources on every reference "
+        f"cluster ({', '.join(c.describe() for c in clusters)})")]
+
+
+def validate_workloads(suite: Mapping[str, type]) -> list[Finding]:
+    """Validate a workload registry (RD007)."""
+    findings: list[Finding] = []
+    seen_names: dict[str, str] = {}
+    for key, cls in suite.items():
+        source = f"<workload:{key}>"
+        try:
+            workload = cls()
+        except Exception as exc:
+            findings.append(_finding(
+                source, "RD007", f"workload {key!r} failed to construct: {exc}"))
+            continue
+        if not workload.name:
+            findings.append(_finding(
+                source, "RD007", f"workload {key!r} has an empty name"))
+        elif workload.name in seen_names:
+            findings.append(_finding(
+                source, "RD007",
+                f"workload name {workload.name!r} registered under both "
+                f"{seen_names[workload.name]!r} and {key!r}"))
+        else:
+            seen_names[workload.name] = key
+        inputs = getattr(workload, "inputs", None)
+        if inputs is None:
+            findings.append(_finding(
+                source, "RD007", f"workload {key!r} declares no evolving inputs"))
+            continue
+        if not 0 < inputs.ds1_mb < inputs.ds2_mb < inputs.ds3_mb:
+            findings.append(_finding(
+                source, "RD007",
+                f"workload {key!r} inputs are not strictly growing: "
+                f"{inputs.ds1_mb}, {inputs.ds2_mb}, {inputs.ds3_mb}"))
+            continue
+        try:
+            jobs = workload.jobs(inputs.ds1_mb)
+        except Exception as exc:
+            findings.append(_finding(
+                source, "RD007",
+                f"workload {key!r} failed to build jobs at DS1: {exc}"))
+            continue
+        if not jobs:
+            findings.append(_finding(
+                source, "RD007", f"workload {key!r} builds an empty job list"))
+    return findings
+
+
+def _reference_clusters() -> list[Cluster]:
+    """Small/large reference deployments for the feasibility probe."""
+    return [Cluster.of("m5.xlarge", 4), Cluster.of("h1.4xlarge", 4)]
+
+
+def validate_default_domain() -> list[Finding]:
+    """Validate the repo's own spaces, constraints, and workload suite."""
+    from ..config.cloud_params import cloud_space, joint_space
+    from ..config.spark_params import spark_core_space, spark_space
+    from ..workloads.suite import SUITE
+
+    clusters = _reference_clusters()
+    constraints = [RESOURCE_PACKING]
+    findings: list[Finding] = []
+    disc = spark_space()
+    for space in (disc, spark_core_space(), cloud_space(),
+                  joint_space(spark_core_space())):
+        findings.extend(validate_space(space, constraints=constraints,
+                                       clusters=clusters))
+    findings.extend(validate_workloads(SUITE))
+    return findings

@@ -1,0 +1,40 @@
+"""Render lint results as human-readable text or machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .model import LintResult, Severity
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """One line per finding plus a summary, ruff/flake8-style."""
+    lines = [finding.format() for finding in result.sorted_findings()]
+    n_err = len(result.errors)
+    n_warn = len(result.findings) - n_err
+    summary = (
+        f"checked {result.n_files} file(s): "
+        f"{n_err} error(s), {n_warn} warning(s)"
+    )
+    if result.n_suppressed:
+        summary += f", {result.n_suppressed} suppressed"
+    if result.clean:
+        summary += " — clean"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "clean": result.clean,
+        "files_checked": result.n_files,
+        "suppressed": result.n_suppressed,
+        "errors": len(result.errors),
+        "warnings": sum(
+            1 for f in result.findings if f.severity is Severity.WARNING
+        ),
+        "findings": [f.to_dict() for f in result.sorted_findings()],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

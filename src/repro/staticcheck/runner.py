@@ -1,0 +1,110 @@
+"""Lint driver: walk files, parse, run rules, apply suppressions.
+
+Scope semantics: a rule with a ``scope`` tuple is contracted for files
+whose path contains one of the named directories / file names.  Files
+*outside* the ``repro`` package tree (test fixtures, scratch snippets)
+get every rule at full strictness — scoping narrows enforcement inside
+the package, it never lets external known-bad code pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .model import Finding, LintResult, Severity, parse_suppressions
+from .rules import ALL_RULES, Rule
+
+__all__ = ["iter_python_files", "rule_applies", "lint_source", "lint_paths"]
+
+#: directories never worth descending into
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS or part.endswith(".egg-info")
+                           for part in sub.parts):
+                    out.add(sub)
+        elif path.suffix == ".py":
+            out.add(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(out)
+
+
+def _in_repro_package(resolved: Path) -> bool:
+    """Whether ``resolved`` sits under the ``repro`` *package* directory.
+
+    Anchored on a directory literally named ``repro`` that contains an
+    ``__init__.py``, so a repository checked out into a folder that
+    happens to be called ``repro`` does not put its tests in scope.
+    """
+    for parent in resolved.parents:
+        if parent.name == "repro" and (parent / "__init__.py").exists():
+            return True
+    return False
+
+
+def rule_applies(rule: type[Rule], path: Path) -> bool:
+    """Whether ``rule`` is in scope for ``path`` (see module docstring)."""
+    if rule.scope is None:
+        return True
+    try:
+        resolved = path.resolve()
+    except OSError:                      # pragma: no cover - exotic filesystems
+        resolved = path
+    if not _in_repro_package(resolved):
+        # Outside the package tree every invariant applies: fixture files
+        # and ad-hoc snippets are linted at full strictness.
+        return True
+    parts = resolved.parts
+    return any(entry in parts or entry == path.name for entry in rule.scope)
+
+
+def lint_source(source: str, path: str | Path,
+                rules: Sequence[type[Rule]] = ALL_RULES,
+                respect_scopes: bool = True) -> LintResult:
+    """Lint one module's source text; ``path`` is used for reporting/scoping."""
+    path = Path(path)
+    result = LintResult(n_files=1)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                path=str(path), line=exc.lineno or 0, col=exc.offset or 0,
+                rule_id="RS000", message=f"syntax error: {exc.msg}",
+                severity=Severity.ERROR,
+            )
+        )
+        return result
+    suppressions = parse_suppressions(source)
+    for rule_cls in rules:
+        if respect_scopes and not rule_applies(rule_cls, path):
+            continue
+        for finding in rule_cls(str(path)).check(tree):
+            if suppressions.silences(finding.line, finding.rule_id):
+                result.n_suppressed += 1
+            else:
+                result.findings.append(finding)
+    return result
+
+
+def lint_paths(paths: Iterable[str | Path],
+               rules: Sequence[type[Rule]] = ALL_RULES,
+               respect_scopes: bool = True) -> LintResult:
+    """Lint every Python file under ``paths``."""
+    total = LintResult()
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        total.extend(lint_source(source, path, rules=rules,
+                                 respect_scopes=respect_scopes))
+    total.findings.sort()
+    return total

@@ -20,6 +20,7 @@ from ..cloud.pricing import CostLedger
 from ..config.constraints import repair as repair_config
 from ..config.space import Configuration, ConfigurationSpace
 from ..config.spark_params import SPARK_DEFAULTS
+from ..sparksim.metrics import ExecutionResult
 from ..sparksim.simulator import SparkSimulator
 
 __all__ = [
@@ -248,7 +249,7 @@ class SimulationObjective:
         self.repair = repair
         self._seed = seed
         self.n_calls = 0
-        self.last_result = None
+        self.last_result: ExecutionResult | None = None
 
     def resolve(self, config) -> tuple[Cluster, Configuration]:
         """Split a (possibly joint) configuration into cluster + full Spark config."""

@@ -1,0 +1,18 @@
+"""Known-bad fixture for RS001: unseeded / process-global randomness."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draw():
+    a = random.random()
+    b = np.random.rand(3)
+    c = np.random.default_rng()
+    d = default_rng()
+    e = default_rng(None)
+    ok = np.random.default_rng(42)
+    also_ok = default_rng(7).normal()
+    sup = random.choice([1, 2])  # staticcheck: ignore[RS001] -- fixture: suppression demo
+    return a, b, c, d, e, ok, also_ok, sup

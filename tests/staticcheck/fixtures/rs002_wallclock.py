@@ -1,0 +1,15 @@
+"""Known-bad fixture for RS002: wall-clock reads in a hot path."""
+
+import time
+from datetime import datetime
+from time import time as now
+
+
+def stamp():
+    a = time.time()
+    b = datetime.now()
+    c = now()
+    ok = time.perf_counter()
+    ok2 = time.monotonic()
+    sup = time.time()  # staticcheck: ignore[RS002] -- fixture: suppression demo
+    return a, b, c, ok, ok2, sup

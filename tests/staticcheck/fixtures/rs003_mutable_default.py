@@ -1,0 +1,34 @@
+"""Known-bad fixture for RS003: mutable default arguments."""
+
+from collections import OrderedDict
+
+
+def bad_list(items=[]):
+    return items
+
+
+def bad_dict(mapping={}):
+    return mapping
+
+
+def bad_call(bag=set()):
+    return bag
+
+
+def bad_ordered(table=OrderedDict()):
+    return table
+
+
+def bad_kwonly(*, acc=list()):
+    return acc
+
+
+bad_lambda = lambda cache={}: cache
+
+
+def ok(items=None, count=0, name="x", pair=(1, 2)):
+    return items, count, name, pair
+
+
+def sup(log=[]):  # staticcheck: ignore[RS003] -- fixture: suppression demo
+    return log

@@ -1,0 +1,12 @@
+"""Known-bad fixture for RS004: float equality in bit-identity modules."""
+
+
+def compare(x, sigma):
+    a = x == 1.5
+    b = sigma != 0.25
+    c = 0.0 == x
+    ok_int = x == 1
+    ok_order = x >= 1.5
+    ok_chain = 0 < x < 2
+    sup = x == 2.5  # staticcheck: ignore[RS004] -- fixture: suppression demo
+    return a, b, c, ok_int, ok_order, ok_chain, sup

@@ -1,0 +1,30 @@
+"""Known-bad fixture for RS005: writes outside __slots__."""
+
+
+class Slotted:
+    __slots__ = ("a", "b")
+
+    def __init__(self):
+        self.a = 1
+        self.b = 2
+        self.c = 3
+
+    def mutate(self):
+        self.d = 4
+        self.e = 5  # staticcheck: ignore[RS005] -- fixture: suppression demo
+
+    @property
+    def total(self):
+        return self.a + self.b
+
+
+class Unslotted:
+    def __init__(self):
+        self.anything = 1
+
+
+class DynamicSlots:
+    __slots__ = tuple("xy")  # not a literal: statically uncheckable, skipped
+
+    def __init__(self):
+        self.z = 1

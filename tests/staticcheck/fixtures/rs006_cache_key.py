@@ -1,0 +1,38 @@
+"""Known-bad fixture for RS006: cache-key completeness and purity."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class BadRequest:
+    workload: str
+    size: float
+    seed: int
+    attempt: int = 0
+
+    _cache_key_excluded: ClassVar[tuple[str, ...]] = ("attempt", "ghost")
+
+    def cache_key(self) -> tuple:
+        return (self.workload, self.seed, self.attempt)
+
+
+@dataclass(frozen=True)
+class GoodRequest:
+    workload: str
+    seed: int
+    attempt: int = 0
+
+    _cache_key_excluded: ClassVar[tuple[str, ...]] = ("attempt",)
+
+    def cache_key(self) -> tuple:
+        return (self.workload, self.seed)
+
+
+@dataclass(frozen=True)
+class SuppressedRequest:
+    workload: str
+    debug_note: str = ""  # staticcheck: ignore[RS006] -- fixture: display-only field
+
+    def cache_key(self) -> tuple:
+        return (self.workload,)

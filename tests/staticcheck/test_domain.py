@@ -1,0 +1,192 @@
+"""Domain validator: well-formed spaces pass, malformed spaces are rejected."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.cluster import Cluster
+from repro.config.cloud_params import cloud_space, joint_space
+from repro.config.space import (
+    CategoricalParameter,
+    ConfigurationSpace,
+    FloatParameter,
+    IntParameter,
+    Parameter,
+)
+from repro.config.spark_params import spark_core_space, spark_space
+from repro.staticcheck import (
+    RESOURCE_PACKING,
+    ConstraintSpec,
+    validate_default_domain,
+    validate_space,
+    validate_workloads,
+)
+from repro.workloads.suite import SUITE
+
+CLUSTERS = [Cluster.of("m5.xlarge", 4)]
+
+
+def rule_ids(findings):
+    return sorted({f.rule_id for f in findings})
+
+
+# --- the repo's own domain is clean --------------------------------------
+
+def test_default_domain_is_clean():
+    assert validate_default_domain() == []
+
+
+@pytest.mark.parametrize("factory", [spark_space, spark_core_space, cloud_space],
+                         ids=["spark", "spark-core", "cloud"])
+def test_shipped_spaces_validate(factory):
+    assert validate_space(factory(), constraints=[RESOURCE_PACKING],
+                          clusters=CLUSTERS) == []
+
+
+def test_joint_space_validates():
+    space = joint_space(spark_core_space())
+    assert validate_space(space, constraints=[RESOURCE_PACKING],
+                          clusters=CLUSTERS) == []
+
+
+# --- RD001: default out of bounds ----------------------------------------
+
+def test_default_out_of_bounds_rejected():
+    param = IntParameter("knob", 1, 10, default=5)
+    param.default = 99        # simulate post-construction drift
+    findings = validate_space(ConfigurationSpace([param], name="bad"))
+    assert rule_ids(findings) == ["RD001"]
+    assert "99" in findings[0].message
+
+
+# --- RD002: encoding does not round-trip ----------------------------------
+
+class _BrokenEncoding(Parameter):
+    """to_unit/from_unit disagree by one — the drift RD002 exists for."""
+
+    def __init__(self):
+        super().__init__("broken", default=5)
+
+    def sample(self, rng: np.random.Generator):
+        return 5
+
+    def to_unit(self, value):
+        return value / 10.0
+
+    def from_unit(self, u):
+        return int(round(u * 10.0)) + 1
+
+    def grid(self, resolution):
+        return [5]
+
+    def validate(self, value):
+        if not 0 <= value <= 10:
+            raise ValueError("out of range")
+
+
+def test_non_roundtripping_encoding_rejected():
+    findings = validate_space(ConfigurationSpace([_BrokenEncoding()], name="bad"))
+    assert rule_ids(findings) == ["RD002"]
+
+
+# --- RD003: dangling constraint parameter ---------------------------------
+
+def test_dangling_constraint_param_rejected():
+    space = ConfigurationSpace(
+        [IntParameter("spark.executor.memory", 512, 4096, default=1024)],
+        name="partial",
+    )
+    dangling = ConstraintSpec(
+        name="packing",
+        params=("spark.executor.memory", "spark.executor.does_not_exist"),
+    )
+    findings = validate_space(space, constraints=[dangling])
+    assert rule_ids(findings) == ["RD003"]
+    assert "spark.executor.does_not_exist" in findings[0].message
+
+
+def test_unanchored_constraint_is_ignored():
+    """A DISC constraint is not dangling on a pure cloud space."""
+    assert validate_space(cloud_space(), constraints=[RESOURCE_PACKING]) == []
+
+
+# --- RD004: no feasible grid corner ---------------------------------------
+
+def test_infeasible_space_rejected():
+    space = ConfigurationSpace(
+        [
+            IntParameter("spark.executor.instances", 1, 4, default=2),
+            # every corner demands more cores than any node has
+            IntParameter("spark.executor.cores", 64, 128, default=64),
+            IntParameter("spark.executor.memory", 512, 1024, default=512),
+        ],
+        name="infeasible",
+    )
+    findings = validate_space(space, constraints=[RESOURCE_PACKING],
+                              clusters=CLUSTERS)
+    assert rule_ids(findings) == ["RD004"]
+    assert "no feasible grid corner" in findings[0].message
+
+
+def test_feasibility_probe_needs_clusters():
+    """Without reference clusters the probe is skipped, not failed."""
+    space = ConfigurationSpace(
+        [
+            IntParameter("spark.executor.instances", 1, 4, default=2),
+            IntParameter("spark.executor.cores", 64, 128, default=64),
+            IntParameter("spark.executor.memory", 512, 1024, default=512),
+        ],
+        name="infeasible",
+    )
+    assert validate_space(space, constraints=[RESOURCE_PACKING]) == []
+
+
+# --- RD005: wide range without log scaling --------------------------------
+
+def test_wide_linear_range_warned():
+    space = ConfigurationSpace(
+        [FloatParameter("window", 0.001, 10.0, default=1.0)],
+        name="wide",
+    )
+    findings = validate_space(space)
+    assert rule_ids(findings) == ["RD005"]
+    assert findings[0].severity.value == "warning"
+
+
+# --- RD006: categorical integrity ------------------------------------------
+
+def test_mutated_categorical_rejected():
+    param = CategoricalParameter("codec", ["lz4", "snappy"], default="lz4")
+    param.choices = ["lz4", "lz4"]        # post-construction drift
+    findings = validate_space(ConfigurationSpace([param], name="bad"))
+    assert "RD006" in rule_ids(findings)
+
+
+# --- RD007: workload registry ----------------------------------------------
+
+def test_shipped_workloads_validate():
+    assert validate_workloads(SUITE) == []
+
+
+def test_empty_job_list_rejected():
+    class Hollow:
+        name = "hollow"
+        category = "micro"
+
+        def __init__(self):
+            from repro.workloads.base import EvolvingInput
+            self.inputs = EvolvingInput(100.0, 200.0, 400.0)
+
+        def jobs(self, input_mb):
+            return []
+
+    findings = validate_workloads({"hollow": Hollow})
+    assert rule_ids(findings) == ["RD007"]
+    assert "empty job list" in findings[0].message
+
+
+def test_duplicate_workload_names_rejected():
+    wordcount = SUITE["wordcount"]
+
+    findings = validate_workloads({"wc-a": wordcount, "wc-b": wordcount})
+    assert rule_ids(findings) == ["RD007"]
+    assert "registered under both" in findings[0].message

@@ -1,0 +1,54 @@
+"""The repo gate: ``src/repro`` lints clean and its domain validates.
+
+This is the test CI and every future PR runs — any new violation of the
+determinism/cache-purity invariants fails here with the rule ID and
+location, instead of surfacing later as a flaky hypothesis failure.
+"""
+
+from pathlib import Path
+
+from repro.staticcheck import lint_paths, validate_default_domain
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+PACKAGE = REPO_ROOT / "src" / "repro"
+
+
+def test_package_source_is_present():
+    assert (PACKAGE / "__init__.py").is_file()
+
+
+def test_repo_lints_clean():
+    result = lint_paths([PACKAGE])
+    assert result.n_files > 80, "package walk looks truncated"
+    pretty = "\n".join(f.format() for f in result.sorted_findings())
+    assert result.findings == [], f"invariant violations:\n{pretty}"
+
+
+def test_domain_definitions_validate():
+    findings = validate_default_domain()
+    pretty = "\n".join(f.format() for f in findings)
+    assert findings == [], f"domain violations:\n{pretty}"
+
+
+def test_eval_request_exclusions_match_runtime_fields():
+    """The declared cache-key exclusion names real EvalRequest fields."""
+    import dataclasses
+
+    from repro.engine.engine import EvalRequest
+
+    field_names = {f.name for f in dataclasses.fields(EvalRequest)}
+    assert set(EvalRequest._cache_key_excluded) <= field_names
+    # And the runtime behaviour matches the declaration: attempt must not
+    # influence the cache key.
+    import dataclasses as dc
+
+    from repro.cloud.cluster import Cluster
+    from repro.config.spark_params import SPARK_DEFAULTS
+    from repro.config.space import Configuration
+
+    request = EvalRequest(
+        workload="w", input_mb=100.0, cluster=Cluster.of("m5.xlarge", 2),
+        config=Configuration(SPARK_DEFAULTS), seed=3,
+    )
+    retried = dc.replace(request, attempt=2)
+    assert request.cache_key() == retried.cache_key()

@@ -1,0 +1,122 @@
+"""Per-rule coverage: every fixture trips exactly its rule, line-exactly.
+
+Each file under ``fixtures/`` holds known-bad snippets for one rule plus
+one suppressed line, so these tests pin (a) the rule IDs, (b) the exact
+line numbers, and (c) that ``# staticcheck: ignore[...]`` works.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import lint_paths, lint_source
+from repro.staticcheck.model import parse_suppressions
+from repro.staticcheck.rules import ALL_RULES, get_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture file -> (expected rule, expected finding lines, expected suppressions)
+EXPECTED = {
+    "rs001_unseeded_rng.py": ("RS001", [10, 11, 12, 13, 14], 1),
+    "rs002_wallclock.py": ("RS002", [9, 10, 11], 1),
+    "rs003_mutable_default.py": ("RS003", [6, 10, 14, 18, 22, 26], 1),
+    "rs004_float_eq.py": ("RS004", [5, 6, 7], 1),
+    "rs005_slots.py": ("RS005", [10, 13], 1),
+    "rs006_cache_key.py": ("RS006", [10, 14, 16], 1),
+}
+
+
+def test_every_rule_has_a_fixture():
+    covered = {rule_id for rule_id, _, _ in EXPECTED.values()}
+    assert covered == {rule.rule_id for rule in ALL_RULES}
+    for name in EXPECTED:
+        assert (FIXTURES / name).is_file(), f"missing fixture {name}"
+
+
+@pytest.mark.parametrize("fixture,expected", sorted(EXPECTED.items()),
+                         ids=sorted(EXPECTED))
+def test_fixture_trips_exactly_its_rule(fixture, expected):
+    rule_id, lines, _ = expected
+    result = lint_paths([FIXTURES / fixture],
+                        rules=get_rules([rule_id]))
+    assert [f.rule_id for f in result.findings] == [rule_id] * len(lines)
+    assert [f.line for f in result.sorted_findings()] == lines
+
+
+@pytest.mark.parametrize("fixture,expected", sorted(EXPECTED.items()),
+                         ids=sorted(EXPECTED))
+def test_fixture_under_all_rules_only_reports_its_rule(fixture, expected):
+    """No cross-contamination: other rules stay silent on each fixture."""
+    rule_id, lines, _ = expected
+    result = lint_paths([FIXTURES / fixture])
+    assert {f.rule_id for f in result.findings} == {rule_id}
+    assert len(result.findings) == len(lines)
+
+
+@pytest.mark.parametrize("fixture,expected", sorted(EXPECTED.items()),
+                         ids=sorted(EXPECTED))
+def test_suppressions_are_counted_not_reported(fixture, expected):
+    rule_id, _, n_suppressed = expected
+    result = lint_paths([FIXTURES / fixture], rules=get_rules([rule_id]))
+    assert result.n_suppressed >= 1
+    source = (FIXTURES / fixture).read_text()
+    unsuppressed = lint_source(
+        source.replace("# staticcheck: ignore", "# was-ignored"),
+        FIXTURES / fixture, rules=get_rules([rule_id]),
+    )
+    assert len(unsuppressed.findings) == len(result.findings) + n_suppressed
+    assert unsuppressed.n_suppressed == 0
+
+
+def test_scoped_rules_skip_out_of_scope_repro_files(tmp_path):
+    """RS004 is contracted for simulator/costmodel/scheduler only."""
+    bad = "def f(x):\n    return x == 1.5\n"
+    root = tmp_path / "src" / "repro"
+    package = root / "analysis"
+    package.mkdir(parents=True)
+    (root / "__init__.py").write_text("")   # scope anchors on the package dir
+    out_of_scope = package / "stats.py"
+    out_of_scope.write_text(bad)
+    in_scope = root / "sparksim"
+    in_scope.mkdir(parents=True)
+    contracted = in_scope / "costmodel.py"
+    contracted.write_text(bad)
+
+    assert lint_paths([out_of_scope], rules=get_rules(["RS004"])).clean
+    assert not lint_paths([contracted], rules=get_rules(["RS004"])).clean
+    # --ignore-scopes applies the rule everywhere.
+    assert not lint_paths([out_of_scope], rules=get_rules(["RS004"]),
+                          respect_scopes=False).clean
+
+
+def test_files_outside_repro_tree_get_full_strictness(tmp_path):
+    """Scoping narrows enforcement inside the package, never outside it."""
+    snippet = tmp_path / "scratch.py"
+    snippet.write_text("import time\nstart = time.time()\n")
+    result = lint_paths([snippet], rules=get_rules(["RS002"]))
+    assert [f.rule_id for f in result.findings] == ["RS002"]
+
+
+def test_syntax_error_reports_rs000(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    result = lint_paths([broken])
+    assert [f.rule_id for f in result.findings] == ["RS000"]
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(ValueError, match="RS999"):
+        get_rules(["RS999"])
+
+
+def test_suppression_parser_variants():
+    source = (
+        "a = 1  # staticcheck: ignore\n"
+        "b = 2  # staticcheck: ignore[RS001, RS004]\n"
+        "c = 3  # nothing here\n"
+    )
+    sup = parse_suppressions(source)
+    assert sup.silences(1, "RS005")           # bare ignore silences all
+    assert sup.silences(2, "RS001") and sup.silences(2, "RS004")
+    assert not sup.silences(2, "RS002")
+    assert not sup.silences(3, "RS001")
