@@ -15,27 +15,48 @@ Quickstart::
     service = TuningService(provider="aws", seed=42)
     deployment = service.submit("tenant-a", PageRank(), input_mb=12_000)
     print(deployment.cluster.describe(), deployment.expected_runtime_s)
+
+The top-level re-exports resolve lazily (PEP 562): importing ``repro``
+does not pull in numpy/scipy, so tools that only need a submodule — the
+``python -m repro.staticcheck`` warm path most of all — start in
+milliseconds.  ``from repro import TuningService`` still works exactly
+as before; the simulator stack loads on first attribute access.
 """
 
-from .cloud import Cluster
-from .config import Configuration, ConfigurationSpace, spark_core_space, spark_space
-from .core import TuningService
-from .sparksim import SparkSimulator
-from .tuning import BayesOptTuner, RandomSearchTuner, SimulationObjective, run_tuner
+from __future__ import annotations
+
+from typing import Any
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "TuningService",
-    "SparkSimulator",
-    "Cluster",
-    "Configuration",
-    "ConfigurationSpace",
-    "spark_space",
-    "spark_core_space",
-    "SimulationObjective",
-    "BayesOptTuner",
-    "RandomSearchTuner",
-    "run_tuner",
-    "__version__",
-]
+#: exported name -> submodule that defines it
+_EXPORTS = {
+    "TuningService": "core",
+    "SparkSimulator": "sparksim",
+    "Cluster": "cloud",
+    "Configuration": "config",
+    "ConfigurationSpace": "config",
+    "spark_space": "config",
+    "spark_core_space": "config",
+    "SimulationObjective": "tuning",
+    "BayesOptTuner": "tuning",
+    "RandomSearchTuner": "tuning",
+    "run_tuner": "tuning",
+}
+
+__all__ = [*_EXPORTS, "__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    submodule = _EXPORTS.get(name)
+    if submodule is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(f".{submodule}", __name__), name)
+    globals()[name] = value          # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

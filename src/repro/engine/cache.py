@@ -42,7 +42,7 @@ def config_fingerprint(config: Mapping[str, Any]) -> str:
     try:
         # Configuration reserves a slot for exactly this memo; other
         # mappings (plain dicts, test doubles) simply skip it.
-        config._fingerprint = digest  # type: ignore[attr-defined]
+        config._fingerprint = digest  # type: ignore[attr-defined]  # staticcheck: ignore[RF002] -- idempotent memo: the digest is a pure function of the mapping's contents
     except (AttributeError, TypeError):
         pass
     return digest

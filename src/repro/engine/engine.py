@@ -328,7 +328,7 @@ class EvaluationEngine:
             return
         try:
             self._executor.close()
-        except Exception:
+        except Exception:  # staticcheck: ignore[RF004] -- best-effort close of an already-broken pool; n_degraded is bumped just below
             pass                     # a broken pool may refuse clean shutdown
         self._executor = SerialExecutor(self.simulator)
         self.failures.n_degraded += 1

@@ -12,7 +12,7 @@ benches can perturb them.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Mapping
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -360,8 +360,10 @@ class StageCostBatch:
     oom: np.ndarray
 
 
-def build_batch_inputs(configs, cluster: Cluster, grants, executors,
-                       envs) -> BatchInputs:
+def build_batch_inputs(configs: Sequence[Mapping[str, Any]], cluster: Cluster,
+                       grants: Sequence[ResourceGrant],
+                       executors: Sequence[ExecutorModel],
+                       envs: Sequence[Environment]) -> BatchInputs:
     """Extract the config-only columns for one batch of candidates.
 
     ``grants``/``executors``/``envs`` align with ``configs``; every grant
@@ -381,11 +383,11 @@ def build_batch_inputs(configs, cluster: Cluster, grants, executors,
         lambda c: 1.0 + 0.08 * (32.0 / float(c.get("spark.shuffle.file.buffer", 32))) ** 0.5
     )
 
-    def _fetch_eff(c) -> float:
+    def _fetch_eff(c: Mapping[str, Any]) -> float:
         inflight = float(c.get("spark.reducer.maxSizeInFlight", 48))
         return max(min(1.0, (inflight / 48.0) ** 0.35), 0.35)
 
-    def _per_block(c) -> float:
+    def _per_block(c: Mapping[str, Any]) -> float:
         connections = int(c.get("spark.shuffle.io.numConnectionsPerPeer", 1))
         per_block_s = 0.00025 / max(1, connections)
         if c.get("spark.shuffle.consolidateFiles", False):

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import networkx as nx
 
@@ -328,7 +329,7 @@ class CompiledWorkload:
         return sum(len(j.stages) for j in self.jobs)
 
 
-def fingerprint_jobs(jobs) -> str:
+def fingerprint_jobs(jobs: Sequence[Job]) -> str:
     """Content digest of a job list, independent of global RDD ids.
 
     RDD ids come from a process-global counter, so two calls to
@@ -365,7 +366,7 @@ def fingerprint_jobs(jobs) -> str:
     return h.hexdigest()
 
 
-def compile_workload(name: str, input_mb: float, jobs,
+def compile_workload(name: str, input_mb: float, jobs: Sequence[Job],
                      fingerprint: str = "") -> CompiledWorkload:
     """Compile a job list into an immutable :class:`CompiledWorkload`.
 

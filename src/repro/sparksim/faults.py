@@ -37,8 +37,12 @@ Two fault families:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..cloud.interference import Environment
 
 __all__ = [
     "FAULT_KINDS",
@@ -76,7 +80,7 @@ class FaultSpec:
     severity: float = 1.0
     span: int = 1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; one of {FAULT_KINDS}")
         if not 0.0 <= self.probability <= 1.0:
@@ -113,7 +117,7 @@ class FaultDraw:
             or self.crash_worker
         )
 
-    def spike_env(self, env):
+    def spike_env(self, env: Environment) -> Environment:
         """Apply the transient interference spike to ``env`` (or pass through)."""
         if self.env_multiplier <= 1.0:
             return env
@@ -143,7 +147,7 @@ class FaultPlan:
     specs: tuple[FaultSpec, ...] = ()
     salt: int = 0xFA17
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         # Tolerate list input; the field must be hashable.
         if not isinstance(self.specs, tuple):
             object.__setattr__(self, "specs", tuple(self.specs))

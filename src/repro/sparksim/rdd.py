@@ -68,7 +68,8 @@ class RDD:
                    record_bytes=record_bytes)
 
     # --- narrow transformations ------------------------------------------
-    def _narrow(self, name, cpu, ratio, record_bytes=None) -> "RDD":
+    def _narrow(self, name: str, cpu: float, ratio: float,
+                record_bytes: float | None = None) -> "RDD":
         op = _Op("narrow", name, cpu_s_per_mb=cpu, size_ratio=ratio)
         child = RDD(op=op, parents=(self,), input_mb=self.size_mb,
                     partitions=self.partitions,
@@ -76,19 +77,23 @@ class RDD:
         child.unspillable_fraction = self.unspillable_fraction
         return child
 
-    def map(self, name="map", cpu_s_per_mb=0.01, size_ratio=1.0) -> "RDD":
+    def map(self, name: str = "map", cpu_s_per_mb: float = 0.01,
+            size_ratio: float = 1.0) -> "RDD":
         return self._narrow(name, cpu_s_per_mb, size_ratio)
 
-    def flat_map(self, name="flatMap", cpu_s_per_mb=0.02, size_ratio=1.5) -> "RDD":
+    def flat_map(self, name: str = "flatMap", cpu_s_per_mb: float = 0.02,
+                 size_ratio: float = 1.5) -> "RDD":
         return self._narrow(name, cpu_s_per_mb, size_ratio)
 
-    def filter(self, name="filter", cpu_s_per_mb=0.004, keep=0.5) -> "RDD":
+    def filter(self, name: str = "filter", cpu_s_per_mb: float = 0.004,
+               keep: float = 0.5) -> "RDD":
         if not 0 < keep <= 1:
             raise ValueError("keep fraction must be in (0, 1]")
         return self._narrow(name, cpu_s_per_mb, keep)
 
     # --- wide transformations ---------------------------------------------
-    def _wide(self, name, cpu, ratio, partitions, unspillable) -> "RDD":
+    def _wide(self, name: str, cpu: float, ratio: float,
+              partitions: int | None, unspillable: float) -> "RDD":
         op = _Op("wide", name, cpu_s_per_mb=cpu, size_ratio=ratio)
         child = RDD(op=op, parents=(self,), input_mb=self.size_mb,
                     partitions=partitions, record_bytes=self.record_bytes,
@@ -96,21 +101,22 @@ class RDD:
         child.unspillable_fraction = unspillable
         return child
 
-    def reduce_by_key(self, name="reduceByKey", cpu_s_per_mb=0.015,
-                      size_ratio=0.3, partitions: int | None = None) -> "RDD":
+    def reduce_by_key(self, name: str = "reduceByKey", cpu_s_per_mb: float = 0.015,
+                      size_ratio: float = 0.3,
+                      partitions: int | None = None) -> "RDD":
         """Map-side combining: shuffles ``size_ratio`` of the input."""
         return self._wide(name, cpu_s_per_mb, size_ratio, partitions, unspillable=0.10)
 
-    def group_by_key(self, name="groupByKey", cpu_s_per_mb=0.012,
+    def group_by_key(self, name: str = "groupByKey", cpu_s_per_mb: float = 0.012,
                      partitions: int | None = None) -> "RDD":
         """No map-side combining: the whole dataset crosses the shuffle."""
         return self._wide(name, cpu_s_per_mb, 1.0, partitions, unspillable=0.30)
 
-    def sort_by(self, name="sortBy", cpu_s_per_mb=0.025,
+    def sort_by(self, name: str = "sortBy", cpu_s_per_mb: float = 0.025,
                 partitions: int | None = None) -> "RDD":
         return self._wide(name, cpu_s_per_mb, 1.0, partitions, unspillable=0.12)
 
-    def join(self, other: "RDD", name="join", cpu_s_per_mb=0.02,
+    def join(self, other: "RDD", name: str = "join", cpu_s_per_mb: float = 0.02,
              partitions: int | None = None) -> "RDD":
         """Shuffle join of two lineages."""
         op = _Op("wide", name, cpu_s_per_mb=cpu_s_per_mb, size_ratio=1.0)
@@ -128,13 +134,13 @@ class RDD:
         self.cached = True
         return self
 
-    def count(self, name="count") -> "Job":
+    def count(self, name: str = "count") -> "Job":
         return Job(self, action=name, result_mb=0.001)
 
-    def collect(self, name="collect", result_fraction=0.01) -> "Job":
+    def collect(self, name: str = "collect", result_fraction: float = 0.01) -> "Job":
         return Job(self, action=name, result_mb=self.size_mb * result_fraction)
 
-    def save(self, name="saveAsTextFile") -> "Job":
+    def save(self, name: str = "saveAsTextFile") -> "Job":
         # Output goes to external storage; only a tiny status result
         # reaches the driver.
         return Job(self, action=name, result_mb=0.001, writes_output=True)
@@ -144,7 +150,7 @@ class RDD:
         """All ancestors (including self), deduplicated, topological order."""
         seen: dict[int, RDD] = {}
 
-        def visit(node: "RDD"):
+        def visit(node: "RDD") -> None:
             if node.id in seen:
                 return
             for p in node.parents:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -286,8 +286,10 @@ def _median_quantile_1d(x: np.ndarray, q: float) -> tuple[float, float]:
     return median, float(a + diff * g)
 
 
-def schedule_stage_batch(n_tasks, base_task_s, slots, spec_enabled,
-                         spec_multiplier, spec_quantile, rngs,
+def schedule_stage_batch(n_tasks: np.ndarray, base_task_s: np.ndarray,
+                         slots: np.ndarray, spec_enabled: np.ndarray,
+                         spec_multiplier: np.ndarray, spec_quantile: np.ndarray,
+                         rngs: Sequence[np.random.Generator],
                          calib: Calibration | None = None,
                          noise: bool = True) -> list[StageSchedule]:
     """Schedule one stage for N candidates; bit-identical to a loop of

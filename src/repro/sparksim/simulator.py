@@ -32,6 +32,7 @@ Two throughput layers sit on top of the single-run path:
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 import numpy as np
 
@@ -50,6 +51,13 @@ from .faults import NO_FAULTS, FaultPlan
 from .memory import plan_cache
 from .metrics import ExecutionResult, StageMetrics
 from .scheduler import schedule_stage, schedule_stage_batch
+
+if TYPE_CHECKING:
+    from ..config.constraints import ResourceGrant
+    from ..workloads.base import Workload
+    from .costmodel import StageCost
+    from .dag import CompiledStage
+    from .rdd import Job
 
 __all__ = ["SparkSimulator"]
 
@@ -105,7 +113,8 @@ class SparkSimulator:
         self.plan_cache_misses = 0
 
     # --- plan cache -------------------------------------------------------
-    def compile_workload(self, workload, input_mb: float) -> CompiledWorkload:
+    def compile_workload(self, workload: Workload,
+                         input_mb: float) -> CompiledWorkload:
         """Return the (cached) compiled plan for ``workload`` at ``input_mb``.
 
         Assumes ``workload.jobs()`` is pure (same object, same job list)
@@ -145,20 +154,22 @@ class SparkSimulator:
         return compiled
 
     # --- single-candidate path -------------------------------------------
-    def run(self, workload, input_mb: float, cluster: Cluster, config,
+    def run(self, workload: Workload, input_mb: float, cluster: Cluster,
+            config: Mapping[str, Any],
             env: Environment = QUIET, seed: int = 0) -> ExecutionResult:
         """Execute ``workload`` at ``input_mb`` scale and return metrics."""
         compiled = self.compile_workload(workload, input_mb)
         return self._run_compiled(compiled, cluster, config, env=env, seed=seed)
 
-    def run_jobs(self, name: str, input_mb: float, jobs, cluster: Cluster,
-                 config, env: Environment = QUIET, seed: int = 0) -> ExecutionResult:
+    def run_jobs(self, name: str, input_mb: float, jobs: Sequence[Job],
+                 cluster: Cluster, config: Mapping[str, Any],
+                 env: Environment = QUIET, seed: int = 0) -> ExecutionResult:
         """Execute an explicit job list (compiled fresh, uncached)."""
         compiled = compile_workload(name, input_mb, jobs)
         return self._run_compiled(compiled, cluster, config, env=env, seed=seed)
 
     def _run_compiled(self, compiled: CompiledWorkload, cluster: Cluster,
-                      config, env: Environment = QUIET,
+                      config: Mapping[str, Any], env: Environment = QUIET,
                       seed: int = 0) -> ExecutionResult:
         calib = self.calibration
         name = compiled.name
@@ -320,8 +331,10 @@ class SparkSimulator:
         )
 
     # --- candidate-batched path ------------------------------------------
-    def run_batch(self, workload, input_mb: float, cluster: Cluster, configs,
-                  envs=None, seeds=None) -> list[ExecutionResult]:
+    def run_batch(self, workload: Workload, input_mb: float, cluster: Cluster,
+                  configs: Sequence[Mapping[str, Any]],
+                  envs: Sequence[Environment] | None = None,
+                  seeds: Sequence[int] | None = None) -> list[ExecutionResult]:
         """Evaluate many configurations of one workload; bit-identical to
         ``[self.run(workload, input_mb, cluster, c, env=e, seed=s) ...]``.
 
@@ -345,7 +358,9 @@ class SparkSimulator:
         return self._run_batch_compiled(compiled, cluster, configs, envs, seeds)
 
     def _run_batch_compiled(self, compiled: CompiledWorkload, cluster: Cluster,
-                            configs, envs, seeds) -> list[ExecutionResult]:
+                            configs: Sequence[Mapping[str, Any]],
+                            envs: Sequence[Environment],
+                            seeds: Sequence[int]) -> list[ExecutionResult]:
         calib = self.calibration
         n = len(configs)
         results: list[ExecutionResult | None] = [None] * n
@@ -380,10 +395,16 @@ class SparkSimulator:
         for i in scalar:
             results[i] = self._run_compiled(compiled, cluster, configs[i],
                                             env=envs[i], seed=seeds[i])
+        # every index is filled by exactly one of the three paths above,
+        # so the Optional slots are all resolved by now
         return results  # type: ignore[return-value]
 
-    def _run_active_batch(self, compiled, cluster, configs, envs, seeds,
-                          active, grants, results) -> None:
+    def _run_active_batch(self, compiled: CompiledWorkload, cluster: Cluster,
+                          configs: Sequence[Mapping[str, Any]],
+                          envs: Sequence[Environment], seeds: Sequence[int],
+                          active: Sequence[int],
+                          grants: Sequence[ResourceGrant],
+                          results: list[ExecutionResult | None]) -> None:
         """Vectorized sweep over the fault-free, granted candidates."""
         calib = self.calibration
         m = len(active)
@@ -520,7 +541,8 @@ class SparkSimulator:
             )
 
     @staticmethod
-    def _failed_stage(stage, cost, wasted: float) -> StageMetrics:
+    def _failed_stage(stage: CompiledStage, cost: StageCost,
+                      wasted: float) -> StageMetrics:
         return StageMetrics(
             stage_id=stage.stage_id, name=stage.name, num_tasks=cost.num_tasks,
             duration_s=wasted, input_mb=cost.input_mb,

@@ -17,6 +17,15 @@ Two halves:
   constraints, and workload registry and checks them for structural
   sanity — defaults inside bounds, round-tripping encodings, anchored
   constraints, feasible grid corners, log-scale consistency.
+* **Flow rules** (``RF001``-``RF005``, :mod:`repro.staticcheck.flow`)
+  walk the project-wide call graph (:mod:`repro.staticcheck.graph`) and
+  enforce the invariants interprocedurally: seed provenance, cache-key
+  purity closure, process-pool race freedom, exception-flow auditing,
+  and scalar/batch leaf-set agreement — each finding carries its call
+  chain.  Enable with ``--flow``.
+
+Runs are incremental (:mod:`repro.staticcheck.incremental`): unchanged
+files replay their cached findings, keyed on content hashes.
 
 Run ``python -m repro.staticcheck`` (see :mod:`repro.staticcheck.cli`);
 suppress individual lines with ``# staticcheck: ignore[RS004]`` plus a
@@ -30,6 +39,16 @@ from .domain import (
     validate_space,
     validate_workloads,
 )
+from .flow import (
+    ALL_FLOW_RULES,
+    FlowReport,
+    flow_rule_catalogue,
+    get_flow_rules,
+    lint_flow,
+    run_flow_rules,
+)
+from .graph import CallGraph, build_call_graph
+from .incremental import CACHE_FILE, CheckOutcome, incremental_check
 from .model import Finding, LintResult, Severity
 from .rules import ALL_RULES, get_rules, rule_catalogue
 from .runner import iter_python_files, lint_paths, lint_source
@@ -41,6 +60,17 @@ __all__ = [
     "ALL_RULES",
     "get_rules",
     "rule_catalogue",
+    "ALL_FLOW_RULES",
+    "FlowReport",
+    "flow_rule_catalogue",
+    "get_flow_rules",
+    "lint_flow",
+    "run_flow_rules",
+    "CallGraph",
+    "build_call_graph",
+    "CACHE_FILE",
+    "CheckOutcome",
+    "incremental_check",
     "iter_python_files",
     "lint_paths",
     "lint_source",

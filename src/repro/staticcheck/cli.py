@@ -3,11 +3,18 @@
 Usage::
 
     python -m repro.staticcheck                  # lint src/repro + domain
+    python -m repro.staticcheck --flow           # + interprocedural RF rules
     python -m repro.staticcheck src/repro        # explicit paths
     python -m repro.staticcheck --format json path/to/file.py
     python -m repro.staticcheck --list-rules
-    python -m repro.staticcheck --rules RS001,RS004 src/repro
+    python -m repro.staticcheck --rules RS001,RF002 src/repro
     python -m repro.staticcheck --no-domain tests/staticcheck/fixtures
+    python -m repro.staticcheck --no-cache       # bypass the warm cache
+
+Runs are incremental by default: per-file findings are cached in
+``.staticcheck_cache.json`` keyed on content hashes (the flow and domain
+passes on a whole-tree hash), so an unchanged tree re-renders without
+re-parsing anything.  ``--no-cache`` forces a full re-analysis.
 
 Exit codes: 0 clean, 1 findings, 2 usage / IO error.
 """
@@ -18,10 +25,10 @@ import argparse
 import sys
 from pathlib import Path
 
-from .model import LintResult
+from .flow import flow_rule_catalogue, get_flow_rules
+from .incremental import CACHE_FILE, incremental_check
 from .reporter import render_json, render_text
 from .rules import get_rules, rule_catalogue
-from .runner import lint_paths
 
 __all__ = ["main", "build_parser"]
 
@@ -31,7 +38,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.staticcheck",
         description=(
             "AST invariant linter + config-space validator for the repro "
-            "package: determinism, cache-key purity, and domain sanity."
+            "package: determinism, cache-key purity, and domain sanity. "
+            "--flow adds the interprocedural pass (seed provenance, "
+            "cache-purity closure, pool races, exception flow, "
+            "scalar/batch divergence) with call-chain traces."
         ),
     )
     parser.add_argument(
@@ -44,11 +54,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--rules", metavar="IDS",
-        help="comma-separated rule IDs to run (default: all)",
+        help=(
+            "comma-separated rule IDs to run (default: all); RF ids "
+            "implicitly enable the flow pass"
+        ),
+    )
+    parser.add_argument(
+        "--flow", action="store_true",
+        help="also run the interprocedural RF rules over the call graph",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
-        help="print the rule catalogue and exit",
+        help="print the rule catalogue (per-file + flow) and exit",
     )
     parser.add_argument(
         "--no-domain", action="store_true",
@@ -57,6 +74,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--ignore-scopes", action="store_true",
         help="apply every rule to every file, ignoring path scopes",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help=f"re-analyze everything, ignoring {CACHE_FILE}",
+    )
+    parser.add_argument(
+        "--cache-file", default=CACHE_FILE, metavar="PATH",
+        help=f"incremental cache location (default: {CACHE_FILE})",
     )
     return parser
 
@@ -75,6 +100,22 @@ def _print_catalogue() -> None:
         print(f"{row['id']}  [{row['severity']}]  {row['summary']}")
         print(f"       scope: {scope}")
         print(f"       {row['rationale']}")
+    for row in flow_rule_catalogue():
+        print(f"{row['rule']}  [{row['severity']}]  {row['summary']}")
+        print("       scope: interprocedural (call graph)")
+        print(f"       {row['rationale']}")
+
+
+def _split_rule_ids(spec: str) -> tuple[list[str], list[str]]:
+    """Partition ``--rules`` ids into per-file (RS/RD) and flow (RF) ids."""
+    per_file: list[str] = []
+    flow: list[str] = []
+    for raw in spec.split(","):
+        rule_id = raw.strip()
+        if not rule_id:
+            continue
+        (flow if rule_id.upper().startswith("RF") else per_file).append(rule_id)
+    return per_file, flow
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -83,34 +124,39 @@ def main(argv: list[str] | None = None) -> int:
         _print_catalogue()
         return 0
     try:
-        rules = get_rules(args.rules.split(",")) if args.rules else get_rules()
+        if args.rules:
+            per_file_ids, flow_ids = _split_rule_ids(args.rules)
+            rules = get_rules(per_file_ids) if per_file_ids else []
+            flow_rules = (get_flow_rules(flow_ids) if flow_ids
+                          else (get_flow_rules() if args.flow else None))
+        else:
+            rules = get_rules()
+            flow_rules = get_flow_rules() if args.flow else None
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
     paths = args.paths or _default_paths()
     try:
-        result = lint_paths(paths, rules=rules,
-                            respect_scopes=not args.ignore_scopes)
+        outcome = incremental_check(
+            paths,
+            per_file_rules=rules,
+            flow_rules=flow_rules,
+            respect_scopes=not args.ignore_scopes,
+            run_domain=not args.no_domain,
+            cache_path=args.cache_file,
+            use_cache=not args.no_cache,
+        )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    if not args.no_domain:
-        domain = LintResult(findings=list(_run_domain()))
-        result.extend(domain)
-
+    result = outcome.result
     if args.format == "json":
-        print(render_json(result))
+        print(render_json(result, stats=outcome.stats))
     else:
-        print(render_text(result))
+        print(render_text(result, stats=outcome.stats))
     return 0 if result.clean else 1
-
-
-def _run_domain():
-    from .domain import validate_default_domain
-
-    return validate_default_domain()
 
 
 if __name__ == "__main__":  # pragma: no cover

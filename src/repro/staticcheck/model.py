@@ -41,7 +41,13 @@ class Severity(Enum):
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    Interprocedural rules (the ``RF`` family) attach a ``chain``: the
+    call edges from the analysis entry point down to the function the
+    finding sits in, each rendered as ``"path:line caller -> callee"``.
+    Per-file rules leave it empty.
+    """
 
     path: str
     line: int
@@ -49,12 +55,17 @@ class Finding:
     rule_id: str
     message: str
     severity: Severity = Severity.ERROR
+    chain: tuple[str, ...] = ()
 
     def format(self) -> str:
-        return (
+        head = (
             f"{self.path}:{self.line}:{self.col}: "
             f"{self.rule_id} [{self.severity.value}] {self.message}"
         )
+        if not self.chain:
+            return head
+        via = "\n".join(f"    via {hop}" for hop in self.chain)
+        return f"{head}\n{via}"
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -64,16 +75,43 @@ class Finding:
             "rule": self.rule_id,
             "severity": self.severity.value,
             "message": self.message,
+            "chain": list(self.chain),
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Finding":
+        return cls(
+            path=payload["path"],
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+            rule_id=payload["rule"],
+            message=payload["message"],
+            severity=Severity(payload.get("severity", "error")),
+            chain=tuple(payload.get("chain", ())),
+        )
+
+    def sort_key(self) -> tuple:
+        """Stable report order: (path, line, rule), then the tie-breakers."""
+        return (self.path, self.line, self.rule_id, self.col, self.message)
 
 
 @dataclass
 class LintResult:
-    """Everything one linter run produced."""
+    """Everything one linter run produced.
+
+    Suppressed findings are kept as full :class:`Finding` records (not a
+    bare count) so reports can say *which* rule was waved through
+    *where* — an aggregate count alone hides exactly the audit trail a
+    suppression is supposed to leave.
+    """
 
     findings: list[Finding] = field(default_factory=list)
     n_files: int = 0
-    n_suppressed: int = 0
+    suppressed: list[Finding] = field(default_factory=list)
+
+    @property
+    def n_suppressed(self) -> int:
+        return len(self.suppressed)
 
     @property
     def errors(self) -> list[Finding]:
@@ -86,10 +124,19 @@ class LintResult:
     def extend(self, other: "LintResult") -> None:
         self.findings.extend(other.findings)
         self.n_files += other.n_files
-        self.n_suppressed += other.n_suppressed
+        self.suppressed.extend(other.suppressed)
 
     def sorted_findings(self) -> list[Finding]:
-        return sorted(self.findings)
+        return sorted(self.findings, key=Finding.sort_key)
+
+    def sorted_suppressed(self) -> list[Finding]:
+        return sorted(self.suppressed, key=Finding.sort_key)
+
+    def suppressed_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.suppressed:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
 
 
 #: ``# staticcheck: ignore`` or ``# staticcheck: ignore[RS001,RS002]``

@@ -1,4 +1,14 @@
-"""Render lint results as human-readable text or machine-readable JSON."""
+"""Render lint results as human-readable text or machine-readable JSON.
+
+Both renderers accept the optional call-graph ``stats`` the flow pass
+produces, so a ``--flow`` report always states how much of the call
+surface was actually resolved (see the soundness caveat in
+:mod:`repro.staticcheck.flow`).
+
+Suppressed findings are first-class in the JSON payload: per-rule counts
+plus the exact silenced locations, not just an aggregate number — a
+suppression is an audit trail, and an audit trail needs the *where*.
+"""
 
 from __future__ import annotations
 
@@ -9,8 +19,22 @@ from .model import LintResult, Severity
 __all__ = ["render_text", "render_json"]
 
 
-def render_text(result: LintResult, verbose: bool = False) -> str:
-    """One line per finding plus a summary, ruff/flake8-style."""
+def _stats_line(stats: dict[str, object]) -> str:
+    rate = float(stats.get("resolution_rate", 0.0))
+    return (
+        f"call graph: {stats.get('functions', 0)} function(s), "
+        f"{stats.get('call_sites', 0)} call site(s), "
+        f"{rate:.1%} resolved ({stats.get('unresolved', 0)} unresolved)"
+    )
+
+
+def render_text(result: LintResult, verbose: bool = False,
+                stats: dict[str, object] | None = None) -> str:
+    """One line per finding plus a summary, ruff/flake8-style.
+
+    Findings are stably sorted by (path, line, rule); interprocedural
+    findings carry their ``via`` call-chain lines.
+    """
     lines = [finding.format() for finding in result.sorted_findings()]
     n_err = len(result.errors)
     n_warn = len(result.findings) - n_err
@@ -19,22 +43,35 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
         f"{n_err} error(s), {n_warn} warning(s)"
     )
     if result.n_suppressed:
-        summary += f", {result.n_suppressed} suppressed"
+        by_rule = ", ".join(
+            f"{rule} x{count}"
+            for rule, count in result.suppressed_by_rule().items()
+        )
+        summary += f", {result.n_suppressed} suppressed ({by_rule})"
     if result.clean:
         summary += " — clean"
     lines.append(summary)
+    if stats is not None:
+        lines.append(_stats_line(stats))
     return "\n".join(lines)
 
 
-def render_json(result: LintResult) -> str:
-    payload = {
+def render_json(result: LintResult,
+                stats: dict[str, object] | None = None) -> str:
+    payload: dict[str, object] = {
         "clean": result.clean,
         "files_checked": result.n_files,
-        "suppressed": result.n_suppressed,
         "errors": len(result.errors),
         "warnings": sum(
             1 for f in result.findings if f.severity is Severity.WARNING
         ),
         "findings": [f.to_dict() for f in result.sorted_findings()],
+        "suppressed": {
+            "total": result.n_suppressed,
+            "by_rule": result.suppressed_by_rule(),
+            "locations": [f.to_dict() for f in result.sorted_suppressed()],
+        },
     }
+    if stats is not None:
+        payload["call_graph"] = stats
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -91,7 +91,7 @@ def lint_source(source: str, path: str | Path,
             continue
         for finding in rule_cls(str(path)).check(tree):
             if suppressions.silences(finding.line, finding.rule_id):
-                result.n_suppressed += 1
+                result.suppressed.append(finding)
             else:
                 result.findings.append(finding)
     return result
@@ -106,5 +106,5 @@ def lint_paths(paths: Iterable[str | Path],
         source = path.read_text(encoding="utf-8")
         total.extend(lint_source(source, path, rules=rules,
                                  respect_scopes=respect_scopes))
-    total.findings.sort()
+    total.findings.sort(key=Finding.sort_key)
     return total

@@ -1,60 +1,65 @@
-"""Configuration tuners: every strategy the paper surveys, one interface."""
+"""Configuration tuners: every strategy the paper surveys, one interface.
 
-from .aroma import AromaTuner, KernelRidgeRegressor, WorkloadCorpus
-from .base import (
-    Observation,
-    SimulationObjective,
-    Tuner,
-    TuningResult,
-    run_tuner,
-    run_tuner_batched,
-)
-from .bestconfig import BestConfigTuner
-from .bo import AdditiveGPTuner, BayesOptTuner, GaussianProcess
-from .ernest import ErnestModel, ErnestTuner
-from .genetic import DACTuner, GeneticTuner
-from .grid_search import GridSearchTuner
-from .hillclimb import DEFAULT_SPARK_RULES, HillClimbTuner, TuningRule
-from .latin import LatinHypercubeTuner
-from .multifidelity import FidelityRung, SuccessiveHalvingResult, successive_halving
-from .random_search import RandomSearchTuner
-from .rl import QLearningTuner
-from .trees import DecisionTreeRegressor, RandomForestRegressor, TreeTuner
-from .whatif import JobProfile, WhatIfEngine, WhatIfTuner, whatif_tune
+Submodules are imported lazily (PEP 562).  This keeps ``import
+repro.tuning.base`` cheap — the abstract interface is a leaf — and breaks
+the package-level cycle ``engine.engine -> tuning.base`` /
+``tuning.aroma -> core.similarity -> core.service -> engine`` that an
+eager ``__init__`` would otherwise close.
+"""
 
-__all__ = [
-    "Tuner",
-    "Observation",
-    "TuningResult",
-    "run_tuner",
-    "run_tuner_batched",
-    "SimulationObjective",
-    "RandomSearchTuner",
-    "GridSearchTuner",
-    "LatinHypercubeTuner",
-    "HillClimbTuner",
-    "TuningRule",
-    "DEFAULT_SPARK_RULES",
-    "BayesOptTuner",
-    "AdditiveGPTuner",
-    "GaussianProcess",
-    "GeneticTuner",
-    "DACTuner",
-    "TreeTuner",
-    "DecisionTreeRegressor",
-    "RandomForestRegressor",
-    "BestConfigTuner",
-    "QLearningTuner",
-    "ErnestModel",
-    "ErnestTuner",
-    "JobProfile",
-    "WhatIfEngine",
-    "WhatIfTuner",
-    "whatif_tune",
-    "AromaTuner",
-    "WorkloadCorpus",
-    "KernelRidgeRegressor",
-    "successive_halving",
-    "SuccessiveHalvingResult",
-    "FidelityRung",
-]
+_EXPORTS = {
+    "Tuner": "base",
+    "Observation": "base",
+    "TuningResult": "base",
+    "run_tuner": "base",
+    "run_tuner_batched": "base",
+    "SimulationObjective": "base",
+    "RandomSearchTuner": "random_search",
+    "GridSearchTuner": "grid_search",
+    "LatinHypercubeTuner": "latin",
+    "HillClimbTuner": "hillclimb",
+    "TuningRule": "hillclimb",
+    "DEFAULT_SPARK_RULES": "hillclimb",
+    "BayesOptTuner": "bo",
+    "AdditiveGPTuner": "bo",
+    "GaussianProcess": "bo",
+    "GeneticTuner": "genetic",
+    "DACTuner": "genetic",
+    "TreeTuner": "trees",
+    "DecisionTreeRegressor": "trees",
+    "RandomForestRegressor": "trees",
+    "BestConfigTuner": "bestconfig",
+    "QLearningTuner": "rl",
+    "ErnestModel": "ernest",
+    "ErnestTuner": "ernest",
+    "JobProfile": "whatif",
+    "WhatIfEngine": "whatif",
+    "WhatIfTuner": "whatif",
+    "whatif_tune": "whatif",
+    "AromaTuner": "aroma",
+    "WorkloadCorpus": "aroma",
+    "KernelRidgeRegressor": "aroma",
+    "successive_halving": "multifidelity",
+    "SuccessiveHalvingResult": "multifidelity",
+    "FidelityRung": "multifidelity",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name):
+    try:
+        submodule = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    from importlib import import_module
+
+    value = getattr(import_module(f".{submodule}", __name__), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

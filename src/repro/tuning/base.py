@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -22,6 +22,9 @@ from ..config.space import Configuration, ConfigurationSpace
 from ..config.spark_params import SPARK_DEFAULTS
 from ..sparksim.metrics import ExecutionResult
 from ..sparksim.simulator import SparkSimulator
+
+if TYPE_CHECKING:
+    from ..workloads.base import Workload
 
 __all__ = [
     "Observation",
@@ -129,9 +132,11 @@ class Tuner(ABC):
         self.history.append(obs)
         return obs
 
-    def observe_batch(self, observations) -> list[Observation]:
+    def observe_batch(
+        self, observations: Iterable[Sequence[Any]]
+    ) -> list[Observation]:
         """Record a batch of ``(config, cost)`` or ``(config, cost, succeeded)``."""
-        out = []
+        out: list[Observation] = []
         for entry in observations:
             config, cost, *rest = entry
             out.append(self.observe(config, cost, *rest))
@@ -148,7 +153,7 @@ class Tuner(ABC):
         return type(self).__name__
 
 
-def _call_succeeded(objective) -> bool:
+def _call_succeeded(objective: object) -> bool:
     """Success of the objective's most recent evaluation, if it exposes one."""
     result = getattr(objective, "last_result", None)
     return bool(getattr(result, "success", True))
@@ -173,8 +178,8 @@ def run_tuner(tuner: Tuner, objective: Callable[[Configuration], float],
     return result
 
 
-def run_tuner_batched(tuner: Tuner, objective, budget: int,
-                      batch_size: int = 8) -> TuningResult:
+def run_tuner_batched(tuner: Tuner, objective: Callable[[Configuration], float],
+                      budget: int, batch_size: int = 8) -> TuningResult:
     """Drive ``tuner`` in batches of up to ``batch_size`` suggestions.
 
     ``objective`` may be a plain callable or expose
@@ -217,10 +222,10 @@ class SimulationObjective:
     face the same noisy, drifting measurements real ones do.
     """
 
-    def __init__(self, workload, input_mb: float,
+    def __init__(self, workload: Workload, input_mb: float,
                  cluster: Cluster | None = None,
                  simulator: SparkSimulator | None = None,
-                 base_config: dict | None = None,
+                 base_config: Mapping[str, Any] | None = None,
                  interference: InterferenceModel | None = None,
                  ledger: CostLedger | None = None,
                  failure_penalty: float = 4.0,
@@ -251,7 +256,7 @@ class SimulationObjective:
         self.n_calls = 0
         self.last_result: ExecutionResult | None = None
 
-    def resolve(self, config) -> tuple[Cluster, Configuration]:
+    def resolve(self, config: Mapping[str, Any]) -> tuple[Cluster, Configuration]:
         """Split a (possibly joint) configuration into cluster + full Spark config."""
         # Copy the backing dict directly when the tuner hands us a
         # Configuration — dict(mapping) walks __iter__/__getitem__.
@@ -274,7 +279,7 @@ class SimulationObjective:
             config = repair_config(config, cluster)
         return cluster, config
 
-    def __call__(self, config) -> float:
+    def __call__(self, config: Mapping[str, Any]) -> float:
         cluster, spark_config = self.resolve(config)
         env = self.interference.step() if self.interference else QUIET
         self.n_calls += 1

@@ -1,0 +1,7 @@
+"""Synthetic package for call-graph resolution tests (not shipped code).
+
+Exercises every resolution path the builder supports: bare names,
+imports (absolute and relative), self-dispatch on slotted classes,
+inherited methods, attribute-typed receivers, annotated parameters,
+locals typed from constructors, super(), and classmethod cls() calls.
+"""

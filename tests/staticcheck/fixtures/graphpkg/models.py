@@ -1,0 +1,31 @@
+"""Slotted class hierarchy: self-dispatch and inherited-method lookup."""
+
+from .util import clamp
+
+
+class Base:
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = clamp(value, 0.0, 1.0)
+
+    def ping(self):
+        return self.describe()
+
+    def describe(self):
+        return f"base={self.value}"
+
+
+class Impl(Base):
+    __slots__ = ()
+
+    def describe(self):
+        return f"impl={self.value}"
+
+    def bump(self, delta):
+        self.value = clamp(self.value + delta, 0.0, 1.0)
+        return super().describe()
+
+    @classmethod
+    def fresh(cls):
+        return cls(0.5)

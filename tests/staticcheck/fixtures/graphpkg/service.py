@@ -1,0 +1,25 @@
+"""Composition layer: attribute types, annotated params, typed locals."""
+
+from .models import Base, Impl
+from .util import combine, scale
+
+
+class Service:
+    __slots__ = ("impl", "spare")
+
+    def __init__(self, impl: Impl | None = None):
+        self.impl = impl or Impl(0.25)
+        self.spare = Impl.fresh()
+
+    def tick(self):
+        first = self.impl.ping()
+        second = self.spare.bump(0.1)
+        return combine(len(first), len(second))
+
+    def renorm(self, base: Base):
+        return scale(base.ping(), 2.0)
+
+
+def drive(service: Service):
+    local = Impl(0.75)
+    return service.tick() + service.renorm(local) + local.bump(0.0)

@@ -1,0 +1,13 @@
+"""Leaf helpers: free functions the rest of the package resolves into."""
+
+
+def clamp(value, lo, hi):
+    return max(lo, min(hi, value))
+
+
+def scale(value, factor):
+    return clamp(value * factor, 0.0, 1.0)
+
+
+def combine(a, b):
+    return scale(a, 0.5) + scale(b, 0.5)

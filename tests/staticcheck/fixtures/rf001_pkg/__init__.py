@@ -1,0 +1,1 @@
+"""RF001 fixture: an unseeded RNG two calls deep behind an entry point."""

@@ -1,0 +1,7 @@
+"""Entry-point module (segment "engine" puts it in RF001 scope)."""
+
+from .noise import sample_noise
+
+
+def evaluate(n):
+    return float(sum(sample_noise(n)))

@@ -1,0 +1,12 @@
+"""Helper layer: the RNG construction the entry point reaches."""
+
+import numpy as np
+
+
+def _make_generator():
+    return np.random.default_rng()
+
+
+def sample_noise(n):
+    gen = _make_generator()
+    return gen.normal(size=n)

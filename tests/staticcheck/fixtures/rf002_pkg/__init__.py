@@ -1,0 +1,1 @@
+"""RF002 fixture: impurity one call below a cache_key root."""

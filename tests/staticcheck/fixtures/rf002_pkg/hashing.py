@@ -1,0 +1,15 @@
+"""Helper layer: writes a module-level memo inside the key path."""
+
+import time
+
+_MEMO = {}
+
+
+def digest_parts(parts):
+    key = tuple(parts)
+    _MEMO[key] = len(parts)
+    return hash(key)
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,11 @@
+"""The cache-key root whose closure must be pure (and is not)."""
+
+from .hashing import digest_parts, stamp
+
+
+class Request:
+    def __init__(self, payload):
+        self.payload = payload
+
+    def cache_key(self):
+        return digest_parts(self.payload) ^ int(stamp())

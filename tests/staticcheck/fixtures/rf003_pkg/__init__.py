@@ -1,0 +1,1 @@
+"""RF003 fixture: a task function racing on module state in workers."""

@@ -1,0 +1,30 @@
+"""Ships a worker task that writes and reads module-level state."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_RESULTS = {}
+_LIMIT = 4
+
+
+def _record(key, value):
+    _RESULTS[key] = value
+    return value
+
+
+def _work(item):
+    if len(_RESULTS) < _LIMIT:
+        return _record(item, item * 2)
+    return item
+
+
+def reset():
+    global _LIMIT
+    _LIMIT = 8
+
+
+def run_all(items):
+    futures = []
+    with ProcessPoolExecutor() as pool:
+        for item in items:
+            futures.append(pool.submit(_work, item))
+    return [f.result() for f in futures]

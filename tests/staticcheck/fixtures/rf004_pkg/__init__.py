@@ -1,0 +1,1 @@
+"""RF004 fixture: a swallowed exception inside engine dispatch."""

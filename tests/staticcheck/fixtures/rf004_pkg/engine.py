@@ -1,0 +1,16 @@
+"""Dispatch module (segment "engine" puts its handlers in RF004 scope)."""
+
+
+def dispatch(jobs):
+    out = []
+    for job in jobs:
+        out.append(_attempt(job))
+    return out
+
+
+def _attempt(job):
+    try:
+        return job()
+    except Exception:
+        pass
+    return None

@@ -1,0 +1,1 @@
+"""RF005 fixture: a scalar/batch pair whose leaf sets diverge."""

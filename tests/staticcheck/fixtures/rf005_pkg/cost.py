@@ -1,0 +1,13 @@
+"""The batch twin forgets the spill leaf the scalar path applies."""
+
+from .leaves import gc_fraction, spill_outcome
+
+
+def compute_stage_cost(data_mb, budget_mb, occupancy):
+    base = data_mb + spill_outcome(data_mb, budget_mb)
+    return base * (1.0 + gc_fraction(occupancy))
+
+
+def compute_stage_cost_batch(data_mb_list, budget_mb, occupancy):
+    factor = 1.0 + gc_fraction(occupancy)
+    return [mb * factor for mb in data_mb_list]

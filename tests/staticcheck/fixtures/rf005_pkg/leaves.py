@@ -1,0 +1,9 @@
+"""Whitelisted cost/effect leaves the paired implementations share."""
+
+
+def gc_fraction(occupancy):
+    return min(0.3, occupancy * 0.1)
+
+
+def spill_outcome(data_mb, budget_mb):
+    return max(0.0, data_mb - budget_mb)

@@ -37,9 +37,25 @@ def test_json_format_is_machine_readable(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["clean"] is False
     assert payload["errors"] == 3
-    assert payload["suppressed"] == 1
     assert {f["rule"] for f in payload["findings"]} == {"RS004"}
     assert [f["line"] for f in payload["findings"]] == [5, 6, 7]
+
+
+def test_json_suppressions_carry_rule_counts_and_locations(capsys):
+    """The suppression audit trail survives serialization: per-rule
+    counts plus the exact silenced locations, not just an aggregate."""
+    code = main(["--no-domain", "--format", "json",
+                 str(FIXTURES / "rs004_float_eq.py")])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    suppressed = payload["suppressed"]
+    assert suppressed["total"] == 1
+    assert suppressed["by_rule"] == {"RS004": 1}
+    assert len(suppressed["locations"]) == 1
+    loc = suppressed["locations"][0]
+    assert loc["rule"] == "RS004"
+    assert loc["path"].endswith("rs004_float_eq.py")
+    assert isinstance(loc["line"], int)
 
 
 def test_rule_filter(capsys):

@@ -1,0 +1,159 @@
+"""Incremental cache: warm reuse, precise invalidation, byte-identity.
+
+The ≥5x warm-speedup acceptance criterion is pinned here with a
+deterministic proxy instead of flaky wall-clock ratios: a fully warm run
+performs **zero** ``ast.parse`` calls (the cold run does one per file,
+plus the graph pass), and its rendered JSON is byte-identical to the
+cold run's.
+"""
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck.flow import ALL_FLOW_RULES
+from repro.staticcheck.incremental import incremental_check
+from repro.staticcheck.reporter import render_json
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _make_pkg(tmp_path):
+    pkg = tmp_path / "inc_pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "noise.py").write_text(
+        "import numpy as np\n"
+        "def make_generator():\n"
+        "    return np.random.default_rng()\n"
+    )
+    (pkg / "engine.py").write_text(
+        "from .noise import make_generator\n"
+        "def evaluate(n):\n"
+        "    return make_generator().normal(size=n)\n"
+    )
+    return pkg
+
+
+def _check(pkg, cache, **kwargs):
+    # per-file rules off: these tests isolate the flow/tree cache paths
+    return incremental_check(
+        [str(pkg)], per_file_rules=[], flow_rules=list(ALL_FLOW_RULES),
+        cache_path=cache, **kwargs,
+    )
+
+
+def test_warm_run_reuses_everything_and_renders_identically(tmp_path):
+    pkg = _make_pkg(tmp_path)
+    cache = tmp_path / "cache.json"
+    cold = _check(pkg, cache)
+    assert cold.n_reanalyzed == 3
+    assert not cold.tree_cached
+    assert [f.rule_id for f in cold.result.findings] == ["RF001"]
+
+    warm = _check(pkg, cache)
+    assert warm.n_reanalyzed == 0
+    assert warm.tree_cached
+    assert warm.result.findings == cold.result.findings
+    assert warm.result.suppressed == cold.result.suppressed
+    cold_json = render_json(cold.result, stats=cold.stats)
+    warm_json = render_json(warm.result, stats=warm.stats)
+    assert warm_json == cold_json      # byte-identical, chains included
+
+
+def test_warm_run_parses_nothing(tmp_path, monkeypatch):
+    """The speedup proxy: zero ast.parse calls on an unchanged tree."""
+    pkg = _make_pkg(tmp_path)
+    cache = tmp_path / "cache.json"
+    _check(pkg, cache)
+
+    calls = {"n": 0}
+    real_parse = ast.parse
+
+    def counting_parse(*args, **kwargs):
+        calls["n"] += 1
+        return real_parse(*args, **kwargs)
+
+    monkeypatch.setattr(ast, "parse", counting_parse)
+    warm = _check(pkg, cache)
+    assert warm.n_reanalyzed == 0
+    assert calls["n"] == 0
+
+
+def test_editing_one_file_reanalyzes_only_that_file(tmp_path):
+    pkg = _make_pkg(tmp_path)
+    cache = tmp_path / "cache.json"
+    _check(pkg, cache)
+
+    noise = pkg / "noise.py"
+    noise.write_text(
+        "import numpy as np\n"
+        "def make_generator(seed):\n"
+        "    return np.random.default_rng(seed)\n"
+    )
+    after = _check(pkg, cache)
+    assert after.n_reanalyzed == 1      # only noise.py re-parsed per-file
+    assert not after.tree_cached        # flow pass re-ran (tree changed)
+    assert after.result.findings == []  # the fix is visible immediately
+
+
+def test_no_cache_escape_hatch(tmp_path):
+    pkg = _make_pkg(tmp_path)
+    cache = tmp_path / "cache.json"
+    out = _check(pkg, cache, use_cache=False)
+    assert out.n_reanalyzed == 3
+    assert not cache.exists()           # --no-cache never writes
+
+
+def test_rule_set_change_invalidates_the_signature(tmp_path):
+    pkg = _make_pkg(tmp_path)
+    cache = tmp_path / "cache.json"
+    _check(pkg, cache)
+    narrowed = incremental_check(
+        [str(pkg)], per_file_rules=[], flow_rules=[ALL_FLOW_RULES[0]],
+        cache_path=cache,
+    )
+    assert narrowed.n_reanalyzed == 3   # different signature: full rerun
+    assert not narrowed.tree_cached
+
+
+def test_corrupt_cache_degrades_to_cold_run(tmp_path):
+    pkg = _make_pkg(tmp_path)
+    cache = tmp_path / "cache.json"
+    cache.write_text("{not json")
+    out = _check(pkg, cache)
+    assert out.n_reanalyzed == 3
+    assert [f.rule_id for f in out.result.findings] == ["RF001"]
+    # and the broken file was replaced with a valid one
+    json.loads(cache.read_text())
+
+
+def test_cache_payload_shape_is_stable(tmp_path):
+    pkg = _make_pkg(tmp_path)
+    cache = tmp_path / "cache.json"
+    _check(pkg, cache)
+    payload = json.loads(cache.read_text())
+    assert set(payload) == {"signature", "files", "tree"}
+    assert all("hash" in entry for entry in payload["files"].values())
+    assert "flow" in payload["tree"]
+    assert payload["tree"]["flow"]["stats"]["files"] == 3
+
+
+def test_cli_cold_and_warm_json_byte_identical(tmp_path, capsys, monkeypatch):
+    """End-to-end through the CLI: the acceptance criterion itself."""
+    from repro.staticcheck.cli import main
+
+    monkeypatch.chdir(tmp_path)
+    pkg = _make_pkg(tmp_path)
+    argv = ["--no-domain", "--flow", "--format", "json", str(pkg)]
+    assert main(argv) == 1
+    cold = capsys.readouterr().out
+    assert main(argv) == 1
+    warm = capsys.readouterr().out
+    assert warm == cold
+    payload = json.loads(warm)
+    assert payload["findings"][0]["rule"] == "RF001"
+    assert payload["findings"][0]["chain"]  # chains survive the round-trip
+    assert (tmp_path / ".staticcheck_cache.json").exists()
