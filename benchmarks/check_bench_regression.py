@@ -1,15 +1,20 @@
 """Gate throughput regressions against the committed benchmark JSON.
 
 Compares a freshly-generated ``BENCH_throughput.json`` against the
-committed baseline and fails when a cold-path scenario's evals/s
-regressed by more than the tolerance.  Warm-cache and parallel scenarios
-are excluded: their numbers are dominated by cache bookkeeping and
-host core counts, not the code under guard.
+committed baseline and fails when a gated scenario's evals/s regressed
+by more than its tolerance.  Tolerances are per scenario: cold
+single-process paths are tight (their noise is the code under guard),
+while pool-backed scenarios get a looser bound — their numbers also
+move with host core count and fork/IPC weather.  Warm-cache scenarios
+are excluded entirely: they measure cache bookkeeping, not simulation.
 
 Usage::
 
     python benchmarks/check_bench_regression.py BASELINE FRESH \
         [--max-regression 0.30]
+
+``--max-regression`` scales every tolerance by the same factor relative
+to the 0.30 default (so ``0.60`` doubles each scenario's allowance).
 """
 
 from __future__ import annotations
@@ -19,20 +24,28 @@ import json
 import sys
 from pathlib import Path
 
-#: cold-path scenarios whose evals/s are gated
-GATED_SCENARIOS = (
-    "sim_scalar_cold",
-    "sim_batch_cold",
-    "engine_serial_scalar",
-    "engine_serial",
-)
+#: default fractional evals/s drop allowed for a tight (cold-path) gate
+DEFAULT_TOLERANCE = 0.30
+
+#: gated scenarios -> allowed fractional evals/s drop at the default
+#: ``--max-regression``.  The pool-backed scenario tolerates more: its
+#: elapsed time includes fork + IPC costs the host controls.
+GATED_SCENARIOS: dict[str, float] = {
+    "sim_scalar_cold": DEFAULT_TOLERANCE,
+    "sim_batch_cold": DEFAULT_TOLERANCE,
+    "sim_batch_joint": DEFAULT_TOLERANCE,
+    "engine_serial_scalar": DEFAULT_TOLERANCE,
+    "engine_serial": DEFAULT_TOLERANCE,
+    "engine_parallel_shm": 0.60,
+}
 
 
 def check(baseline: dict, fresh: dict, max_regression: float) -> list[str]:
     failures = []
+    scale = max_regression / DEFAULT_TOLERANCE
     base_scenarios = baseline.get("scenarios", {})
     fresh_scenarios = fresh.get("scenarios", {})
-    for name in GATED_SCENARIOS:
+    for name, tolerance in GATED_SCENARIOS.items():
         base = base_scenarios.get(name)
         new = fresh_scenarios.get(name)
         if base is None:
@@ -42,14 +55,15 @@ def check(baseline: dict, fresh: dict, max_regression: float) -> list[str]:
         if new is None:
             failures.append(f"{name}: missing from fresh report")
             continue
+        allowed = min(tolerance * scale, 0.99)
         base_eps = float(base["evals_per_s"])
         new_eps = float(new["evals_per_s"])
-        floor = base_eps * (1.0 - max_regression)
+        floor = base_eps * (1.0 - allowed)
         if new_eps < floor:
             failures.append(
                 f"{name}: {new_eps:.1f} evals/s is "
                 f"{1.0 - new_eps / base_eps:.0%} below the committed "
-                f"{base_eps:.1f} (allowed: {max_regression:.0%})"
+                f"{base_eps:.1f} (allowed: {allowed:.0%})"
             )
     return failures
 
@@ -60,8 +74,10 @@ def main(argv=None) -> int:
                         help="committed BENCH_throughput.json")
     parser.add_argument("fresh", type=Path,
                         help="freshly generated BENCH_throughput.json")
-    parser.add_argument("--max-regression", type=float, default=0.30,
-                        help="allowed fractional evals/s drop (default 0.30)")
+    parser.add_argument("--max-regression", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="tight-gate fractional evals/s drop; scales "
+                             "every per-scenario tolerance (default 0.30)")
     args = parser.parse_args(argv)
     if not 0.0 <= args.max_regression < 1.0:
         parser.error("--max-regression must be in [0, 1)")

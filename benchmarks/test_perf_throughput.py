@@ -26,9 +26,22 @@ trajectory is tracked across PRs:
   that batching cannot touch); the fast path itself must be ≥ 3× the
   per-eval path it replaced, while the harness-inclusive
   ``engine_serial``/``engine_serial_scalar`` ratio is asserted at ≥ 2×.
+* ``sim_batch_joint``: all 200 candidates in ONE ``run_batch`` call —
+  the joint (stages × candidates) compiled program with nothing left to
+  amortize across chunks.  This is the widest batch the fused plan
+  sweep sees and must also clear the ≥ 3× bar against the scalar loop.
 * ``engine_parallel``: the same, through the process-pool executor.  On
   a single-core host this is *honestly* reported as ≈1× or worse — the
-  pool cannot beat the GIL-free serial loop without cores.
+  pool cannot beat the GIL-free serial loop without cores (and
+  ``executor_kind`` in its counters records that the engine resolved
+  the pool to serial dispatch).
+* ``engine_parallel_shm``: an explicit two-worker
+  :class:`~repro.engine.executors.ParallelExecutor` with zero-copy
+  shared-memory dispatch and a shared on-disk plan store — the
+  saturation configuration.  Its counters record pool size and
+  per-worker chunk counts; the parallel > serial assertion is gated on
+  ``os.cpu_count() >= 2`` because a forked pool on one core measures
+  pure dispatch overhead, not parallelism.
 * ``engine_parallel_memoized``: the same 200-candidate batch
   re-evaluated through the warm cache, i.e. the paper's provider-side
   amortization (principle 3): a recurring or cross-tenant session whose
@@ -43,6 +56,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import tempfile
 import time
 from pathlib import Path
 
@@ -53,7 +67,7 @@ from repro.config.space import Configuration
 from repro.config.spark_params import SPARK_DEFAULTS, spark_core_space
 from repro.cloud import Cluster
 from repro.engine import EngineObjective, EvaluationEngine
-from repro.engine.executors import SerialExecutor
+from repro.engine.executors import ParallelExecutor, SerialExecutor
 from repro.sparksim import SparkSimulator
 from repro.sparksim.costmodel import Calibration
 from repro.sparksim.scheduler import (
@@ -82,6 +96,12 @@ SPACE = spark_core_space()
 #: slots, vectorized at or above) may never be this much slower than the
 #: path it rejected — guards the crossover constant against drift
 MAX_WRONG_PATH_PENALTY = 1.5
+
+#: the saturation target for a multi-core provider host (joint batches
+#: on every worker of a warm shared plan store); recorded in the report
+#: so a multi-core runner regenerating the JSON checks itself against
+#: it — unreachable and therefore not asserted on a single-core box
+MULTI_CORE_TARGET_EVALS_PER_S = 50_000
 
 
 def _tuner():
@@ -123,6 +143,13 @@ def _scenario_engine_scalar(plan_cache_size):
     return _scenario_engine(executor, simulator=sim)
 
 
+def _scenario_engine_parallel_shm():
+    """Two workers, zero-copy request dispatch, shared on-disk plan store."""
+    with tempfile.TemporaryDirectory(prefix="bench-planstore-") as store_dir:
+        executor = ParallelExecutor(max_workers=2, plan_store_dir=store_dir)
+        return _scenario_engine(executor)
+
+
 def _resolved_candidates():
     """The campaign's 200 candidates as fully-resolved (config, seed) pairs."""
     rng = np.random.default_rng(TUNER_SEED)
@@ -141,13 +168,15 @@ def _scenario_sim_pair(reps=5):
 
     Both sides simulate the identical candidates and seeds, so results
     must agree bitwise; fresh simulators per rep keep the plan cache
-    cold at the start of every measurement.  Returns the best elapsed
-    time per side plus the median of the per-rep speedup ratios.
+    cold at the start of every measurement.  A third timing covers the
+    joint path: the whole campaign in one ``run_batch`` call.  Returns
+    the best elapsed time per side plus the median per-rep speedup of
+    each batched side over the scalar loop.
     """
     configs, seeds = _resolved_candidates()
     workload = Sort()
-    scalar_times, batch_times = [], []
-    scalar_results = batch_results = None
+    scalar_times, batch_times, joint_times = [], [], []
+    scalar_results = batch_results = joint_results = None
     for _ in range(reps):
         sim = SparkSimulator(plan_cache_size=0)
         t0 = time.perf_counter()
@@ -166,13 +195,22 @@ def _scenario_sim_pair(reps=5):
                 seeds=seeds[s:s + BATCH_SIZE],
             ))
         batch_times.append(time.perf_counter() - t0)
-    assert scalar_results == batch_results  # bit-identity, end to end
-    # Each rep times the two sides back to back, so the per-rep ratio is
+
+        sim = SparkSimulator()
+        t0 = time.perf_counter()
+        joint_results = sim.run_batch(workload, 4096.0, CLUSTER, configs,
+                                      seeds=seeds)
+        joint_times.append(time.perf_counter() - t0)
+    assert scalar_results == batch_results == joint_results  # bit-identity
+    # Each rep times the sides back to back, so the per-rep ratio is
     # robust to the slow clock drift of shared runners; the median rep
     # is then robust to transient noise in either side.
-    ratios = sorted(s / b for s, b in zip(scalar_times, batch_times))
-    median_ratio = ratios[len(ratios) // 2]
-    return min(scalar_times), min(batch_times), median_ratio
+    def median_ratio(times):
+        ratios = sorted(s / b for s, b in zip(scalar_times, times))
+        return ratios[len(ratios) // 2]
+
+    return (min(scalar_times), min(batch_times), min(joint_times),
+            median_ratio(batch_times), median_ratio(joint_times))
 
 
 def _scheduler_microbench():
@@ -229,8 +267,8 @@ def _timed_vectorized(d, slots, reps):
 
 
 def test_perf_throughput():
-    sim_scalar_elapsed, sim_batch_elapsed, fastpath_speedup = \
-        _scenario_sim_pair()
+    (sim_scalar_elapsed, sim_batch_elapsed, sim_joint_elapsed,
+     fastpath_speedup, joint_speedup) = _scenario_sim_pair()
     seed_result, seed_elapsed = _scenario_seed_serial()
     scalar_result, scalar_elapsed, scalar_counters = \
         _scenario_engine_scalar(plan_cache_size=0)
@@ -238,6 +276,7 @@ def test_perf_throughput():
         _scenario_engine_scalar(plan_cache_size=64)
     serial_result, serial_elapsed, serial_counters = _scenario_engine("serial")
     par_result, par_elapsed, par_counters = _scenario_engine("process")
+    shm_result, shm_elapsed, shm_counters = _scenario_engine_parallel_shm()
     warm_result, warm_elapsed, warm_counters = _scenario_engine(
         "process", warm=True)
 
@@ -252,6 +291,7 @@ def test_perf_throughput():
            [o.cost for o in plancache_result.history] == \
            [o.cost for o in serial_result.history] == \
            [o.cost for o in par_result.history] == \
+           [o.cost for o in shm_result.history] == \
            [o.cost for o in warm_result.history]
     assert warm_counters["hits"] >= N_CANDIDATES  # the warm pass is all hits
 
@@ -264,6 +304,8 @@ def test_perf_throughput():
                             "evals_per_s": eps(sim_scalar_elapsed)},
         "sim_batch_cold": {"elapsed_s": sim_batch_elapsed,
                            "evals_per_s": eps(sim_batch_elapsed)},
+        "sim_batch_joint": {"elapsed_s": sim_joint_elapsed,
+                            "evals_per_s": eps(sim_joint_elapsed)},
         "engine_serial_scalar": {"elapsed_s": scalar_elapsed,
                                  "evals_per_s": eps(scalar_elapsed),
                                  "counters": scalar_counters},
@@ -276,6 +318,9 @@ def test_perf_throughput():
         "engine_parallel": {"elapsed_s": par_elapsed,
                             "evals_per_s": eps(par_elapsed),
                             "counters": par_counters},
+        "engine_parallel_shm": {"elapsed_s": shm_elapsed,
+                                "evals_per_s": eps(shm_elapsed),
+                                "counters": shm_counters},
         "engine_parallel_memoized": {"elapsed_s": warm_elapsed,
                                      "evals_per_s": eps(warm_elapsed),
                                      "counters": warm_counters},
@@ -297,6 +342,8 @@ def test_perf_throughput():
         },
         "batch_speedup_vs_scalar": batch_speedup,
         "fastpath_speedup_vs_scalar": fastpath_speedup,
+        "joint_speedup_vs_scalar": joint_speedup,
+        "multi_core_target_evals_per_s": MULTI_CORE_TARGET_EVALS_PER_S,
         "scheduler_microbench": _scheduler_microbench(),
     }
     OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -313,6 +360,25 @@ def test_perf_throughput():
     assert fastpath_speedup >= 3.0, (
         f"run_batch only {fastpath_speedup:.1f}x the cold run() loop"
     )
+    # PR 6 acceptance: the joint (stages x candidates) program holds the
+    # same bar with the whole campaign in one call — chunking was not
+    # load-bearing for the fast path's advantage.
+    assert joint_speedup >= 3.0, (
+        f"joint run_batch only {joint_speedup:.1f}x the cold run() loop"
+    )
+    # The shm executor ran a real two-worker pool and its utilization
+    # telemetry must account for the dispatched chunks.
+    workers = shm_counters["workers"]
+    assert workers["pool_size"] == 2
+    assert workers["workers_used"] >= 1
+    # Parallel dispatch only wins with real cores behind the pool; on a
+    # single-core host the honest expectation is overhead, not speedup.
+    if (os.cpu_count() or 1) >= 2:
+        assert eps(shm_elapsed) > eps(serial_elapsed), (
+            f"shm pool ({eps(shm_elapsed):.0f} evals/s) not faster than "
+            f"serial ({eps(serial_elapsed):.0f}) despite "
+            f"{os.cpu_count()} cores"
+        )
     # End-to-end the same campaign pays ~80 µs/eval of tuner + objective
     # + engine harness on both sides, which dilutes the ratio; the
     # engine-level guard is correspondingly lower.

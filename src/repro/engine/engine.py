@@ -116,11 +116,15 @@ class EvaluationEngine:
             if effective_workers <= 1:
                 self._executor = SerialExecutor(simulator)
             else:
+                store = getattr(simulator, "plan_store", None)
                 self._executor = ParallelExecutor(
                     max_workers=effective_workers,
                     calibration=simulator.calibration,
                     noise=simulator.noise,
                     fault_plan=simulator.fault_plan,
+                    plan_store_dir=(
+                        store.directory if store is not None else None
+                    ),
                 )
         elif hasattr(executor, "run_batch"):
             self._executor = executor
@@ -165,6 +169,9 @@ class EvaluationEngine:
                     n_env_distinct_misses=self.n_env_distinct_misses)
         snap.update(self.failures.snapshot())
         snap["executor_kind"] = self.executor_kind
+        utilization = getattr(self._executor, "utilization", None)
+        if utilization is not None:
+            snap["workers"] = utilization()
         return snap
 
     # --- evaluation ----------------------------------------------------------

@@ -20,7 +20,7 @@ from ..cloud.cluster import Cluster
 from ..cloud.interference import Environment
 from ..config.constraints import ResourceGrant
 from ..config.encoding import ConfigColumns
-from .dag import StageProfile
+from .dag import CompiledWorkload, StageProfile
 from .executor import RESERVED_MB, ExecutorModel
 from .memory import CachePlan, gc_fraction, plan_cache, spill_outcome
 from .shuffle import CODECS, codec_of, serializer_of, shuffle_read, shuffle_write
@@ -34,6 +34,10 @@ __all__ = [
     "StageCostBatch",
     "build_batch_inputs",
     "compute_stage_cost_batch",
+    "PlanArrays",
+    "PlanCostBatch",
+    "build_plan_arrays",
+    "compute_plan_cost_batch",
 ]
 
 
@@ -629,6 +633,340 @@ def compute_stage_cost_batch(
         + stage.collect_mb * calib.collect_s_per_mb
     )
     return StageCostBatch(
+        num_tasks=n_tasks,
+        cpu_s=cpu,
+        disk_s=disk,
+        net_s=net,
+        gc_s=gc,
+        idle_s=idle,
+        total_s=total,
+        driver_s=driver,
+        spilled_mb=spilled_logical,
+        spill_mb_total=spilled_logical * n_tasks,
+        oom=oom,
+    )
+
+
+# --- joint stage x candidate plan program --------------------------------------
+#
+# The plan-level twin of :func:`compute_stage_cost_batch`: all S stages of
+# a compiled workload costed for all N candidates in one fused sweep of
+# (S, N) struct-of-arrays operations.  Stage-level branches of the scalar
+# model become per-row masks whose contributions are ``np.where(mask,
+# term, 0.0)`` — adding exact 0.0 to the non-negative accumulators is a
+# bitwise no-op — so the bit-identity contract extends unchanged:
+# elementwise IEEE arithmetic does not care whether it ran per stage or
+# per plan.
+
+
+@dataclass
+class PlanArrays:
+    """Stage-constant columns of one :class:`CompiledWorkload`.
+
+    Compiled once per plan (and cached by the simulator alongside the
+    plan itself): everything :func:`compute_plan_cost_batch` needs that
+    depends only on the workload, shaped ``(S, 1)`` for broadcasting
+    against ``(N,)`` candidate columns, plus the plain-Python metadata
+    the simulator unboxes into per-stage metrics.
+    """
+
+    n_stages: int
+    # (S, 1) compute columns
+    hint: np.ndarray             # int64; -1 where the stage has no hint
+    input_mb: np.ndarray
+    cached_read_mb: np.ndarray
+    shuffle_read_mb: np.ndarray
+    shuffle_write_mb: np.ndarray
+    output_mb_eff: np.ndarray    # 0.0 unless the stage writes output
+    cpu_s: np.ndarray
+    unspillable: np.ndarray
+    collect_mb: np.ndarray
+    cached_mb: np.ndarray        # cache-registry snapshot per stage
+    recompute_cpu: np.ndarray
+    recompute_io: np.ndarray
+    # (S, 1) row masks mirroring the scalar model's stage-level branches
+    has_input: np.ndarray
+    has_cached: np.ndarray
+    has_shuffle_read: np.ndarray
+    has_shuffle_write: np.ndarray
+    has_output: np.ndarray
+    # per-stage metadata (plain Python, consumed by the metrics loop)
+    stage_ids: list[int]
+    names: list[str]
+    deps: list[list[int]]        # dep *row indices* into plan order
+    job_submits_before: list[int]
+    trailing_job_submits: int
+    writes_output: list[bool]
+    out_mb: list[float]
+    input_mb_l: list[float]
+    cached_read_mb_l: list[float]
+    shuffle_read_mb_l: list[float]
+    shuffle_write_mb_l: list[float]
+
+
+@dataclass
+class PlanCostBatch:
+    """(S, N) cost arrays for a whole compiled plan."""
+
+    num_tasks: np.ndarray
+    cpu_s: np.ndarray
+    disk_s: np.ndarray
+    net_s: np.ndarray
+    gc_s: np.ndarray
+    idle_s: np.ndarray
+    total_s: np.ndarray
+    driver_s: np.ndarray
+    spilled_mb: np.ndarray
+    spill_mb_total: np.ndarray
+    oom: np.ndarray
+
+
+def build_plan_arrays(compiled: CompiledWorkload) -> PlanArrays:
+    """Extract the stage-constant columns of ``compiled`` in plan order."""
+    stages = []
+    cached = []
+    rec_cpu = []
+    rec_io = []
+    submits_before = []
+    pending = 0
+    for cjob in compiled.jobs:
+        pending += 1
+        for cstage in cjob.stages:
+            stages.append(cstage.stage)
+            cached.append(cstage.cached_mb)
+            rec_cpu.append(cstage.recompute_cpu_s_per_mb)
+            rec_io.append(cstage.recompute_io_mb_per_mb)
+            submits_before.append(pending)
+            pending = 0
+    s_count = len(stages)
+    row_of: dict[int, int] = {s.stage_id: i for i, s in enumerate(stages)}
+
+    def col(values, dtype=float) -> np.ndarray:
+        return np.asarray(values, dtype=dtype).reshape(s_count, 1)
+
+    return PlanArrays(
+        n_stages=s_count,
+        hint=col(
+            [-1 if s.num_tasks_hint is None else max(1, int(s.num_tasks_hint))
+             for s in stages],
+            dtype=np.int64,
+        ),
+        input_mb=col([s.input_mb for s in stages]),
+        cached_read_mb=col([s.cached_read_mb for s in stages]),
+        shuffle_read_mb=col([s.shuffle_read_mb for s in stages]),
+        shuffle_write_mb=col([s.shuffle_write_mb for s in stages]),
+        output_mb_eff=col(
+            [s.output_mb if s.writes_output else 0.0 for s in stages]
+        ),
+        cpu_s=col([s.cpu_s for s in stages]),
+        unspillable=col([s.unspillable_fraction for s in stages]),
+        collect_mb=col([s.collect_mb for s in stages]),
+        cached_mb=col(cached),
+        recompute_cpu=col(rec_cpu),
+        recompute_io=col(rec_io),
+        has_input=col([s.input_mb > 0 for s in stages], dtype=bool),
+        has_cached=col([s.cached_read_mb > 0 for s in stages], dtype=bool),
+        has_shuffle_read=col([s.shuffle_read_mb > 0 for s in stages], dtype=bool),
+        has_shuffle_write=col([s.shuffle_write_mb > 0 for s in stages], dtype=bool),
+        has_output=col(
+            [s.writes_output and s.output_mb > 0 for s in stages], dtype=bool,
+        ),
+        stage_ids=[s.stage_id for s in stages],
+        names=[s.name for s in stages],
+        deps=[
+            [row_of[d] for d in s.depends_on if d in row_of] for s in stages
+        ],
+        job_submits_before=submits_before,
+        trailing_job_submits=pending,
+        writes_output=[s.writes_output for s in stages],
+        out_mb=[s.output_mb if s.writes_output else 0.0 for s in stages],
+        input_mb_l=[s.input_mb for s in stages],
+        cached_read_mb_l=[s.cached_read_mb for s in stages],
+        shuffle_read_mb_l=[s.shuffle_read_mb for s in stages],
+        shuffle_write_mb_l=[s.shuffle_write_mb for s in stages],
+    )
+
+
+def compute_plan_cost_batch(
+    plan: PlanArrays,
+    b: BatchInputs,
+    calib: Calibration | None = None,
+) -> PlanCostBatch:
+    """All stages x all candidates in one fused struct-of-arrays sweep.
+
+    Bit-identical to running :func:`compute_stage_cost_batch` per stage
+    (and therefore to the scalar model): every elementwise operation is
+    the same IEEE operation in the same order, broadcast over ``(S, N)``
+    instead of ``(N,)``; stage-level ``if`` guards become row masks with
+    exact-zero masked contributions; the ``pow``-carrying GC curve stays
+    an elementwise Python call.
+    """
+    if calib is None:
+        calib = Calibration()
+    n = b.n
+    s_count = plan.n_stages
+    core_speed = b.core_speed
+
+    n_tasks = np.where(
+        plan.hint >= 0,
+        np.broadcast_to(plan.hint, (s_count, n)),
+        np.broadcast_to(np.maximum(1, b.parallelism), (s_count, n)),
+    )
+
+    # Upstream map-output counts: integer sums of earlier rows, exact.
+    num_map = np.zeros((s_count, n), dtype=np.int64)
+    for row, dep_rows in enumerate(plan.deps):
+        for d in dep_rows:
+            num_map[row] += n_tasks[d]
+
+    # --- per-task data volumes ---------------------------------------------
+    input_pt = plan.input_mb / n_tasks
+    cached_pt = plan.cached_read_mb / n_tasks
+    shuffle_read_pt = plan.shuffle_read_mb / n_tasks
+    shuffle_write_pt = plan.shuffle_write_mb / n_tasks
+    output_pt = plan.output_mb_eff / n_tasks
+
+    # --- per-stage cache fit -----------------------------------------------
+    needed = plan.cached_mb * b.cache_footprint
+    stored = np.minimum(needed, b.cache_capacity)
+    hit = np.divide(stored, needed, out=np.ones((s_count, n)),
+                    where=needed != 0)
+
+    cpu = np.zeros((s_count, n))
+    disk = np.zeros((s_count, n))
+    net = np.zeros((s_count, n))
+
+    # --- operator computation -----------------------------------------------
+    cpu = cpu + plan.cpu_s / n_tasks / core_speed
+
+    # --- external input (HDFS-style: mostly node-local) ----------------------
+    has_input = plan.has_input
+    disk = disk + np.where(
+        has_input, input_pt * (1.0 - b.remote_frac) / b.disk_share, 0.0,
+    )
+    net = net + np.where(has_input, input_pt * b.remote_frac / b.net_share, 0.0)
+
+    # --- cached input ---------------------------------------------------------
+    has_cached = plan.has_cached
+    cpu = cpu + np.where(
+        has_cached, cached_pt * hit * b.cache_read_cpu / core_speed, 0.0,
+    )
+    cpu = cpu + np.where(
+        has_cached, cached_pt * hit / calib.cached_read_mb_s, 0.0,
+    )
+    miss = cached_pt * (1.0 - hit)
+    missed = miss > 0
+    to_disk = has_cached & missed & b.cache_miss_to_disk
+    disk = disk + np.where(to_disk, miss / b.disk_share, 0.0)
+    cpu = cpu + np.where(to_disk, miss * b.ser_deserialize / core_speed, 0.0)
+    # Recompute the partition: re-run its producing chain (CPU) and
+    # re-read its inputs — shuffle re-fetches go over the network,
+    # source re-scans over the disk.
+    recompute = has_cached & missed & ~b.cache_miss_to_disk
+    reread = miss * plan.recompute_io
+    disk = disk + np.where(recompute, 0.4 * reread / b.disk_share, 0.0)
+    net = net + np.where(recompute, 0.6 * reread / b.net_share, 0.0)
+    cpu = cpu + np.where(
+        recompute,
+        miss * (plan.recompute_cpu + calib.recompute_cpu_s_per_mb) / core_speed,
+        0.0,
+    )
+
+    # --- shuffle read ----------------------------------------------------------
+    has_sr = plan.has_shuffle_read
+    rf = max(0.0, min(1.0, b.remote_nodes_fraction + 0.05))
+    sr_cpu = shuffle_read_pt * b.ser_deserialize
+    sr_cpu = np.where(
+        b.shuffle_compress, sr_cpu + shuffle_read_pt * b.codec_decompress, sr_cpu,
+    )
+    wire = np.where(
+        b.shuffle_compress, shuffle_read_pt * b.codec_ratio, shuffle_read_pt,
+    )
+    sr_cpu = sr_cpu + np.maximum(1, num_map) * b.per_block_s
+    cpu = cpu + np.where(has_sr, sr_cpu / core_speed, 0.0)
+    disk = disk + np.where(has_sr, wire * (1.0 - rf) / b.disk_share, 0.0)
+    net = net + np.where(has_sr, wire * rf / b.net_share / b.fetch_efficiency, 0.0)
+
+    # --- shuffle write ----------------------------------------------------------
+    has_sw = plan.has_shuffle_write
+    sw_cpu = shuffle_write_pt * b.ser_serialize
+    sw_cpu = np.where(
+        b.shuffle_compress, sw_cpu + shuffle_write_pt * b.codec_compress, sw_cpu,
+    )
+    sw_disk = np.where(
+        b.shuffle_compress, shuffle_write_pt * b.codec_ratio, shuffle_write_pt,
+    )
+    bypass = b.parallelism <= b.bypass_threshold
+    flush = np.where(bypass, b.flush_base * 1.05, b.flush_base)
+    sw_cpu = np.where(bypass, sw_cpu, sw_cpu + shuffle_write_pt * 0.0030)
+    cpu = cpu + np.where(has_sw, sw_cpu / core_speed, 0.0)
+    disk = disk + np.where(has_sw, sw_disk * flush / b.disk_share, 0.0)
+
+    # --- final output ------------------------------------------------------------
+    has_out = plan.has_output
+    cpu = cpu + np.where(has_out, output_pt * b.ser_serialize / core_speed, 0.0)
+    disk = disk + np.where(has_out, output_pt / b.disk_share, 0.0)
+
+    # --- memory: spill or die ------------------------------------------------------
+    working_set = (
+        shuffle_read_pt * b.ser_expansion
+        + shuffle_write_pt * calib.shuffle_write_buffer_fraction * b.ser_expansion
+        + (input_pt + cached_pt) * calib.map_working_set_fraction * b.ser_expansion
+    )
+    storage_per_exec = stored / b.executors
+    available = (
+        np.maximum(0.0, b.unified_mb - np.minimum(storage_per_exec, b.immune_mb))
+        + b.offheap_mb
+    ) / b.concurrent
+    floor = 32.0 + working_set * plan.unspillable
+    oom = available < floor
+    spills = ~oom & (working_set > available)
+    spilled_raw = np.where(spills, working_set - available, 0.0)
+    merge_passes = np.where(spills, working_set // np.maximum(available, 1.0), 0.0)
+    spilled_logical = spilled_raw / b.ser_expansion
+    spill_cpu = spilled_logical * (b.ser_serialize + b.ser_deserialize)
+    spill_cpu = np.where(
+        b.spill_compress,
+        spill_cpu + spilled_logical * (b.codec_compress + b.codec_decompress),
+        spill_cpu,
+    )
+    spill_bytes = np.where(
+        b.spill_compress, spilled_logical * b.codec_ratio, spilled_logical,
+    )
+    spill_cpu = spill_cpu + merge_passes * spilled_logical * calib.spill_merge_cpu_s_per_mb
+    cpu = cpu + np.where(spills, spill_cpu / core_speed, 0.0)
+    disk = disk + np.where(spills, 2.0 * spill_bytes / b.disk_share, 0.0)
+
+    # --- GC pressure ----------------------------------------------------------------
+    resident = np.minimum(working_set, available) * b.concurrent
+    occupancy = (storage_per_exec + resident + RESERVED_MB) / np.maximum(b.heap_mb, 1.0)
+    # gc_fraction raises occupancy to the 4th power; numpy's pow kernel
+    # differs from Python's in the last ulp, so evaluate elementwise.
+    gc = np.array(
+        [gc_fraction(o) for o in occupancy.ravel().tolist()]
+    ).reshape(s_count, n) * cpu
+
+    # Interference slows computation too (shared cores / hyperthread pairs).
+    cpu = cpu * b.env_cpu
+    gc = gc * b.env_cpu
+
+    # --- scheduling idle from locality wait -------------------------------------------
+    effective_slots = b.executors * b.concurrent
+    waves = np.maximum(1.0, n_tasks / np.maximum(1, effective_slots))
+    raw_idle = np.minimum(
+        b.locality_wait, 0.02 * b.locality_wait * waves,
+    ) / waves
+    idle = np.where(
+        (has_input | has_cached) & (b.locality_wait > 0), raw_idle, 0.0,
+    )
+
+    total = cpu + disk + net + gc + calib.task_launch_s + idle
+    driver = (
+        calib.driver_stage_overhead_s
+        + calib.driver_dispatch_s_per_task * n_tasks
+        + plan.collect_mb * calib.collect_s_per_mb
+    )
+    return PlanCostBatch(
         num_tasks=n_tasks,
         cpu_s=cpu,
         disk_s=disk,

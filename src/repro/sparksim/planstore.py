@@ -1,0 +1,131 @@
+"""Persistent, cross-process store for compiled workload plans.
+
+The in-memory plan cache dies with its process: every pool worker pays
+the full ``workload.jobs()`` + :func:`compile_workload` cost again for
+plans the parent already built.  :class:`PlanStore` is the disk tier
+below the content cache — a directory of pickled
+:class:`~repro.sparksim.dag.CompiledWorkload` files keyed by a content
+fingerprint, shared by every process that points at the same directory
+(pool initializers pass it down; see
+:func:`repro.engine.executors._init_worker`).
+
+Keying follows the staticcheck incremental cache: the digest folds in a
+format version and a hash of the :mod:`repro.sparksim` package's own
+sources, so editing the simulator invalidates every stored plan — a
+stale store can never replay plans compiled by older code.  Writes are
+atomic (``os.replace`` of a same-directory temp file) so concurrent
+workers racing on the same plan either see a complete file or none;
+corrupt or unreadable entries count as misses and are deleted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from .dag import CompiledWorkload
+
+__all__ = ["PlanStore"]
+
+_STORE_VERSION = 1
+
+
+def _sparksim_digest() -> str:
+    """Digest of the sparksim package's own sources (computed once)."""
+    here = Path(__file__).resolve().parent
+    h = hashlib.blake2b(digest_size=16)
+    for path in sorted(here.glob("*.py")):
+        h.update(path.name.encode())
+        h.update(path.read_bytes())
+    return h.hexdigest()
+
+
+_SOURCE_DIGEST: str | None = None
+
+
+def _source_digest() -> str:
+    global _SOURCE_DIGEST
+    if _SOURCE_DIGEST is None:
+        _SOURCE_DIGEST = _sparksim_digest()
+    return _SOURCE_DIGEST
+
+
+class PlanStore:
+    """A directory of compiled plans, shared across processes.
+
+    Parameters
+    ----------
+    directory:
+        Where plan files live.  Created on first write; passing the same
+        path to several simulators (or pool workers) shares the store.
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path_for(self, name: str, input_mb: float, fingerprint: str) -> Path:
+        key = "|".join([
+            f"v{_STORE_VERSION}",
+            _source_digest(),
+            name,
+            repr(float(input_mb)),
+            fingerprint,
+        ])
+        digest = hashlib.blake2b(key.encode(), digest_size=16).hexdigest()
+        return self.directory / f"{digest}.plan"
+
+    def get(self, name: str, input_mb: float,
+            fingerprint: str) -> CompiledWorkload | None:
+        """The stored plan for this content key, or ``None``."""
+        path = self._path_for(name, input_mb, fingerprint)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            compiled = pickle.loads(data)
+            if not isinstance(compiled, CompiledWorkload):
+                raise TypeError(type(compiled).__name__)
+        except Exception:
+            # Torn write from a crashed producer, or garbage: drop the
+            # entry so the next put() heals the store.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return compiled
+
+    def put(self, name: str, input_mb: float, fingerprint: str,
+            compiled: CompiledWorkload) -> None:
+        """Store ``compiled`` under this content key (atomic, best-effort)."""
+        path = self._path_for(name, input_mb, fingerprint)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(pickle.dumps(compiled, protocol=5))
+                os.replace(tmp, path)       # atomic on POSIX
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self.writes += 1
+        except OSError:
+            pass            # read-only / full disk: run without the store
+
+    def counters(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes}

@@ -1,0 +1,187 @@
+"""Pooled, batch-seeded per-candidate noise generators.
+
+The batch fast path owes every candidate its own
+``np.random.default_rng(seed)`` stream — that is the bit-identity
+contract with the scalar path.  Constructing one costs ~8-12 µs,
+dominated by ``SeedSequence`` entropy mixing and ``PCG64.__init__``: at
+batch-path speeds that is a measurable slice of every evaluation.
+
+This module reproduces the *exact* ``default_rng(seed)`` initial state
+for a whole batch of seeds in a handful of vectorized uint32 passes:
+
+* ``SeedSequence`` mixes the seed's 32-bit words into a 4-word entropy
+  pool with a Weyl-style multiply/xor hash whose evolving hash constant
+  is *seed-independent* — so N seeds mix in lock-step as ``(N,)`` uint32
+  vectors;
+* PCG64's ``srandom`` folds the four output words into its 128-bit
+  ``(state, inc)`` pair — two big-int operations per candidate;
+* the result is installed into pooled ``PCG64`` bit generators via the
+  ``state`` setter (~1 µs), skipping the expensive constructors.
+
+The replicated arithmetic is verified against ``np.random.PCG64`` at
+import time for a spread of seeds; if the installed numpy ever changes
+its seeding, the pool transparently falls back to plain ``default_rng``
+construction, so the fast path can never drift from the contract
+silently.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["GeneratorPool", "FAST_SEEDING"]
+
+#: PCG64 (XSL-RR 128/64) LCG multiplier — fixed by the PCG reference
+#: implementation numpy vendors.
+_PCG_MULT = 0x2360ED051FC65DA44385DF649FCCF645
+_MASK128 = (1 << 128) - 1
+
+# SeedSequence hash/mix constants (numpy _bit_generator.pyx).  The
+# evolving hash constants live as masked Python ints — numpy scalar
+# uint32 multiplies warn on overflow, array ops wrap silently.
+_INIT_A = 0x43B0D7E5
+_MULT_A = 0x931E8875
+_INIT_B = 0x8B51F9DD
+_MULT_B = 0x58F38DED
+_MASK32 = 0xFFFFFFFF
+_MIX_L = np.uint32(0xCA01F9DD)
+_MIX_R = np.uint32(0x4973F715)
+_XSHIFT = np.uint32(16)
+_POOL_SIZE = 4
+
+#: seeds above this need >2 entropy words; they take the fallback path
+_MAX_FAST_SEED = 2**64
+
+
+def _seed_words_vec(seeds: Sequence[int]) -> list[np.ndarray]:
+    """The four PCG64 seeding words for each seed, as ``(N,)`` uint64.
+
+    Vectorized replica of ``SeedSequence(seed).generate_state(4,
+    np.uint64)`` for seeds in ``[0, 2**64)``.  A seed's entropy is its
+    little-endian 32-bit words; positions past the entropy length hash
+    ``0``, so zero-padding to the 4-word pool size is exact.  The
+    evolving hash constants depend only on call order, never on seed
+    values, so every per-word operation runs as one ``(N,)`` uint32 op.
+    """
+    s = np.asarray(seeds, dtype=np.uint64)
+    n = s.shape[0]
+
+    hash_const = _INIT_A
+
+    def _hash(value: np.ndarray) -> np.ndarray:
+        nonlocal hash_const
+        value = value ^ np.uint32(hash_const)
+        hash_const = (hash_const * _MULT_A) & _MASK32
+        value = value * np.uint32(hash_const)
+        return value ^ (value >> _XSHIFT)
+
+    pool = [
+        _hash((s & np.uint64(0xFFFFFFFF)).astype(np.uint32)),
+        _hash((s >> np.uint64(32)).astype(np.uint32)),
+        _hash(np.zeros(n, dtype=np.uint32)),
+        _hash(np.zeros(n, dtype=np.uint32)),
+    ]
+    for i_src in range(_POOL_SIZE):
+        for i_dst in range(_POOL_SIZE):
+            if i_src == i_dst:
+                continue
+            mixed = pool[i_dst] * _MIX_L - _hash(pool[i_src]) * _MIX_R
+            pool[i_dst] = mixed ^ (mixed >> _XSHIFT)
+
+    hash_const = _INIT_B
+    words32 = []
+    for j in range(2 * _POOL_SIZE):
+        value = pool[j % _POOL_SIZE] ^ np.uint32(hash_const)
+        hash_const = (hash_const * _MULT_B) & _MASK32
+        value = value * np.uint32(hash_const)
+        words32.append(value ^ (value >> _XSHIFT))
+    # uint64 output words are little-endian pairs of uint32 draws
+    return [
+        words32[2 * j].astype(np.uint64)
+        | (words32[2 * j + 1].astype(np.uint64) << np.uint64(32))
+        for j in range(4)
+    ]
+
+
+def _srandom(w0: int, w1: int, w2: int, w3: int) -> dict:
+    """PCG64 ``(state, inc)`` from its four seeding words.
+
+    Replicates ``pcg_setseq_128_srandom_r``: ``inc = (initseq << 1) | 1``
+    and the state is stepped twice around adding ``initstate``.
+    """
+    initstate = (w0 << 64) | w1
+    initseq = (w2 << 64) | w3
+    inc = ((initseq << 1) | 1) & _MASK128
+    state = inc  # srandom: state = 0; step() -> 0 * MULT + inc
+    state = (state + initstate) & _MASK128
+    state = (state * _PCG_MULT + inc) & _MASK128  # second step()
+    return {
+        "bit_generator": "PCG64",
+        "state": {"state": state, "inc": inc},
+        "has_uint32": 0,
+        "uinteger": 0,
+    }
+
+
+def _pcg64_state_dict(seed: int) -> dict:
+    """The ``PCG64(SeedSequence(seed)).state`` dict, computed directly."""
+    words = np.random.SeedSequence(seed).generate_state(4, np.uint64)
+    return _srandom(int(words[0]), int(words[1]), int(words[2]),
+                    int(words[3]))
+
+
+def _verify_fast_seeding() -> bool:
+    """True when the replicated seeding matches this numpy's ``PCG64``."""
+    try:
+        probes = [0, 1, 12345, 2**31 - 1, 2**32, 2**63 - 1, 2**64 - 1]
+        cols = [w.tolist() for w in _seed_words_vec(probes)]
+        for i, seed in enumerate(probes):
+            vec_state = _srandom(cols[0][i], cols[1][i], cols[2][i],
+                                 cols[3][i])
+            if np.random.PCG64(seed).state != vec_state:
+                return False
+            if _pcg64_state_dict(seed) != vec_state:
+                return False
+    except Exception:
+        return False
+    return True
+
+
+#: whether the arithmetic shortcut is exact on the installed numpy
+FAST_SEEDING: bool = _verify_fast_seeding()
+
+
+class GeneratorPool:
+    """A reusable pool of ``np.random.Generator`` objects.
+
+    ``generators(seeds)`` returns one generator per seed, each in the
+    exact state ``np.random.default_rng(seed)`` would start in.  The
+    underlying ``PCG64`` bit generators are pooled and re-seeded via the
+    ``state`` setter from one vectorized seeding sweep, costing ~3 µs
+    per candidate instead of ~9 µs.  Generators are only valid until the
+    next :meth:`generators` call — the batch path consumes them within
+    one ``run_batch`` sweep, which is single-threaded by construction.
+    """
+
+    def __init__(self) -> None:
+        self._bit_gens: list[np.random.PCG64] = []
+        self._gens: list[np.random.Generator] = []
+
+    def generators(self, seeds: Sequence[int]) -> list[np.random.Generator]:
+        if not FAST_SEEDING or any(
+            not (0 <= seed < _MAX_FAST_SEED) for seed in seeds
+        ):
+            return [np.random.default_rng(seed) for seed in seeds]
+        n = len(seeds)
+        while len(self._gens) < n:
+            bit_rng = np.random.PCG64(0)  # staticcheck: ignore[RF001] -- placeholder state only: overwritten via the state setter below before any draw
+            self._bit_gens.append(bit_rng)
+            self._gens.append(np.random.Generator(bit_rng))
+        cols = [w.tolist() for w in _seed_words_vec(seeds)]
+        for i in range(n):
+            self._bit_gens[i].state = _srandom(
+                cols[0][i], cols[1][i], cols[2][i], cols[3][i]
+            )
+        return self._gens[:n]

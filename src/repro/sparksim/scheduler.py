@@ -138,11 +138,11 @@ def _list_schedule_heap(durations: np.ndarray, slots: int) -> float:
 #: plain heap loop it replaces.  The crossover is measured by the
 #: scheduler microbench (BENCH_throughput.json) on durations drawn from
 #: the production noise model (``_sample_durations`` at the default
-#: calibration): parity at 32 slots, vectorized 2x/4x/7x faster at
-#: 64/128/256, heap 2x faster at 16.  Wider duration spreads shorten
-#: the safe prefix and move the crossover up — the microbench asserts
-#: the chosen path is never >1.5x slower than the rejected one.
-_MIN_VECTOR_SLOTS = 32
+#: calibration): parity at 48 slots, vectorized ~1.35x/2.8x/5x faster
+#: at 64/128/256, heap ~1.4x faster at 32.  Wider duration spreads
+#: shorten the safe prefix and move the crossover up — the microbench
+#: asserts the chosen path is never >1.5x slower than the rejected one.
+_MIN_VECTOR_SLOTS = 48
 
 #: chunks shorter than this are processed with the heap (numpy call
 #: overhead dominates tiny chunks)
@@ -173,27 +173,44 @@ def _list_schedule(durations: np.ndarray, slots: int) -> float:
         return _list_schedule_heap(durations, slots)
     times = np.zeros(slots)  # slot available-times, kept sorted ascending
     pos = 0
+    # Fast-rounds prologue: while every chunk is a full round of exactly
+    # ``slots`` tasks and the safety test passes, the per-round work is
+    # just an in-place add and re-sort.  All round minima come from one
+    # (rounds, slots) reduction, and the reshape pins chunk boundaries —
+    # the first unsafe round breaks to the general loop below, which
+    # re-derives boundaries from ``pos`` and never returns here.
+    rounds = n // slots
+    if rounds >= 2:
+        mat = durations[: rounds * slots].reshape(rounds, slots)
+        mins = mat.min(axis=1).tolist()
+        last = slots - 1
+        r = 0
+        while r < rounds and times[last] - times[0] <= mins[r]:
+            np.add(times, mat[r], out=times)
+            times.sort()
+            r += 1
+        pos = r * slots
     while pos < n:
         k = min(slots, n - pos)
         chunk = durations[pos:pos + k]
-        finishes = times[:k] + chunk
+        cmin = chunk.min()
         # Fast test first: when the chunk's shortest task covers the slot
         # spread, every pop is safe (times[j] <= times[0] + min d <=
         # times[i] + d_i for all i < j) — the common case for the tight
         # task-noise distributions the simulator draws.
-        if times[k - 1] - times[0] <= chunk.min():
+        if times[k - 1] - times[0] <= cmin:
             m = k
         else:
-            # Longest safe prefix: times[j] must not exceed any finish
-            # pushed earlier in the chunk (prefix-min of times[i] + d_i).
-            prefix_min = np.minimum.accumulate(finishes)
-            unsafe = times[1:k] > prefix_min[: k - 1]
-            j = int(unsafe.argmax()) if k > 1 else 0
-            m = j + 1 if k > 1 and unsafe[j] else k
+            # Slots at or below times[0] + cmin can only be popped before
+            # any in-chunk finish lands (every push is >= times[0] + cmin),
+            # so the first such-prefix pops are exactly times[:m] in order.
+            # Straggler-inflated slots sit past the cut and stay parked —
+            # one binary search instead of a prefix-min scan per chunk.
+            m = min(int(np.searchsorted(times, times[0] + cmin, "right")), k)
         if m >= _MIN_CHUNK:
-            # The m popped slots finish at times[:m] + chunk[:m]; writing
-            # them back in place and re-sorting realizes the new multiset.
-            times[:m] = finishes[:m]
+            # The m popped slots finish at times[:m] + chunk[:m]; adding
+            # in place and re-sorting realizes the new multiset.
+            np.add(times[:m], chunk[:m], out=times[:m])
             times.sort()
         else:
             m = min(k, _MIN_CHUNK)

@@ -14,19 +14,27 @@ the cluster fail fast; tasks whose working set cannot even spill OOM and
 fail the application after retries — both produce the expensive crash
 behaviour Section IV of the paper describes.
 
-Two throughput layers sit on top of the single-run path:
+Three throughput layers sit on top of the single-run path:
 
 * a **compiled-plan cache**: the stage DAG and the cache-registry
   evolution are config-independent, so each ``(workload, input_mb,
   job-list fingerprint)`` compiles once and every candidate evaluation
-  replays the immutable :class:`~repro.sparksim.dag.CompiledWorkload`;
-* a **candidate-batched fast path** (:meth:`SparkSimulator.run_batch`)
-  that costs one stage for N configurations in single numpy passes and
-  batches the scheduler's statistics reductions, while preserving one
-  rng stream per candidate.  Its contract is *bit-identity*: the
-  results equal a loop of :meth:`SparkSimulator.run` exactly, including
-  OOM/reject candidates and injected faults (fault-struck candidates
-  drop out of the batch and finish on the scalar path).
+  replays the immutable :class:`~repro.sparksim.dag.CompiledWorkload`
+  — optionally backed by a cross-process on-disk
+  :class:`~repro.sparksim.planstore.PlanStore` so pool workers never
+  recompile plans the parent already built;
+* a **candidate-batched joint program** (:meth:`SparkSimulator.run_batch`)
+  that costs *all stages for all candidates* in one fused ``(stages,
+  candidates)`` numpy sweep (:func:`~repro.sparksim.costmodel.
+  compute_plan_cost_batch` over cached
+  :class:`~repro.sparksim.costmodel.PlanArrays`), then replays only the
+  rng-ordered scheduling walk per candidate from bulk-unboxed scalars,
+  with the per-candidate generators pre-seeded by one vectorized
+  sweep (:mod:`repro.sparksim.rngpool`).  Its contract is
+  *bit-identity*: the results equal a loop of
+  :meth:`SparkSimulator.run` exactly, including OOM/reject candidates
+  and injected faults (fault-struck candidates drop out of the batch
+  and finish on the scalar path).
 """
 
 from __future__ import annotations
@@ -41,22 +49,32 @@ from ..cloud.interference import QUIET, Environment
 from ..config.constraints import grant_resources
 from .costmodel import (
     Calibration,
+    PlanArrays,
     build_batch_inputs,
+    build_plan_arrays,
+    compute_plan_cost_batch,
     compute_stage_cost,
-    compute_stage_cost_batch,
 )
 from .dag import CompiledWorkload, compile_workload, fingerprint_jobs
 from .executor import ExecutorModel
 from .faults import NO_FAULTS, FaultPlan
 from .memory import plan_cache
-from .metrics import ExecutionResult, StageMetrics
-from .scheduler import schedule_stage, schedule_stage_batch
+from .metrics import ExecutionResult, StageMetrics, TaskMetrics
+from .rngpool import GeneratorPool
+from .scheduler import (
+    _list_schedule,
+    _median_1d,
+    _median_quantile_1d,
+    _sample_durations,
+    schedule_stage,
+)
 
 if TYPE_CHECKING:
     from ..config.constraints import ResourceGrant
     from ..workloads.base import Workload
     from .costmodel import StageCost
     from .dag import CompiledStage
+    from .planstore import PlanStore
     from .rdd import Job
 
 __all__ = ["SparkSimulator"]
@@ -90,16 +108,24 @@ class SparkSimulator:
         uses this to measure the cache's contribution).  Plans are
         immutable and config-independent; the cache only trades memory
         for re-compilation time, never changes results.
+    plan_store:
+        Optional :class:`~repro.sparksim.planstore.PlanStore` — a
+        shared on-disk tier below the content cache.  Content-tier
+        misses consult the store before compiling and publish fresh
+        plans to it, so processes sharing a store directory (a pool
+        parent and its workers) compile each plan once, cluster-wide.
     """
 
     def __init__(self, calibration: Calibration | None = None, noise: bool = True,
-                 fault_plan: FaultPlan | None = None, plan_cache_size: int = 64):
+                 fault_plan: FaultPlan | None = None, plan_cache_size: int = 64,
+                 plan_store: "PlanStore | None" = None):
         self.calibration = calibration or Calibration()
         self.noise = noise
         self.fault_plan = fault_plan
         if plan_cache_size < 0:
             raise ValueError("plan_cache_size must be >= 0")
         self.plan_cache_size = plan_cache_size
+        self.plan_store = plan_store
         # Identity tier: (id(workload), input_mb) -> (workload, compiled).
         # Holding the workload object strongly pins its id, so a hit is
         # guaranteed to be the same object (ids are only reused after
@@ -111,6 +137,12 @@ class SparkSimulator:
         self._plan_cache_by_content: OrderedDict = OrderedDict()
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        # Joint-program cache: id(compiled) -> (compiled, PlanArrays).
+        # Holding the compiled plan strongly pins its id, like the plan
+        # cache's identity tier.
+        self._plan_arrays_cache: OrderedDict = OrderedDict()
+        # Pooled per-candidate noise generators for the batch fast path.
+        self._rng_pool = GeneratorPool()
 
     # --- plan cache -------------------------------------------------------
     def compile_workload(self, workload: Workload,
@@ -142,9 +174,22 @@ class SparkSimulator:
             self.plan_cache_hits += 1
         else:
             self.plan_cache_misses += 1
-            compiled = compile_workload(
-                workload.name, input_mb, jobs, fingerprint=fingerprint,
+            # Disk tier: another process (typically the pool parent) may
+            # already have compiled this exact content key.
+            stored = (
+                self.plan_store.get(workload.name, input_mb, fingerprint)
+                if self.plan_store is not None else None
             )
+            if stored is not None:
+                compiled = stored
+            else:
+                compiled = compile_workload(
+                    workload.name, input_mb, jobs, fingerprint=fingerprint,
+                )
+                if self.plan_store is not None:
+                    self.plan_store.put(
+                        workload.name, input_mb, fingerprint, compiled,
+                    )
             self._plan_cache_by_content[content_key] = compiled
             while len(self._plan_cache_by_content) > self.plan_cache_size:
                 self._plan_cache_by_content.popitem(last=False)
@@ -399,143 +444,187 @@ class SparkSimulator:
         # so the Optional slots are all resolved by now
         return results  # type: ignore[return-value]
 
+    def _plan_program(self, compiled: CompiledWorkload) -> PlanArrays:
+        """The (cached) joint-program columns for ``compiled``.
+
+        Keyed by plan identity like the plan cache's id tier; plans are
+        immutable, so the derived arrays are too.
+        """
+        if self.plan_cache_size == 0:
+            return build_plan_arrays(compiled)
+        key = id(compiled)
+        hit = self._plan_arrays_cache.get(key)
+        if hit is not None and hit[0] is compiled:
+            self._plan_arrays_cache.move_to_end(key)
+            return hit[1]
+        arrays = build_plan_arrays(compiled)
+        self._plan_arrays_cache[key] = (compiled, arrays)
+        while len(self._plan_arrays_cache) > self.plan_cache_size:
+            self._plan_arrays_cache.popitem(last=False)
+        return arrays
+
     def _run_active_batch(self, compiled: CompiledWorkload, cluster: Cluster,
                           configs: Sequence[Mapping[str, Any]],
                           envs: Sequence[Environment], seeds: Sequence[int],
                           active: Sequence[int],
-                          grants: Sequence[ResourceGrant],
+                          grants: Mapping[int, ResourceGrant],
                           results: list[ExecutionResult | None]) -> None:
-        """Vectorized sweep over the fault-free, granted candidates."""
+        """Joint sweep over the fault-free, granted candidates.
+
+        One fused ``(stages, candidates)`` cost program
+        (:func:`compute_plan_cost_batch`) replaces the per-stage batch
+        loop; what remains per candidate is the rng-ordered scheduling
+        walk, driven entirely from bulk-unboxed Python scalars.  Noise
+        generators come pre-seeded from the pooled vectorized seeder.
+        """
         calib = self.calibration
+        noise = self.noise
         m = len(active)
         cfgs = [configs[i] for i in active]
         grant_list = [grants[i] for i in active]
         executors = [ExecutorModel.from_config(c) for c in cfgs]
         b = build_batch_inputs(cfgs, cluster, grant_list, executors,
                                [envs[i] for i in active])
-        rngs = [np.random.default_rng(seeds[i]) for i in active]
-        slots = np.maximum(
-            1, b.executors * b.concurrent
-        )
-        runtime = (
+        plan = self._plan_program(compiled)
+        cost = compute_plan_cost_batch(plan, b, calib)
+        rngs = self._rng_pool.generators([seeds[i] for i in active])
+
+        # One bulk unbox per array instead of a numpy scalar lookup per
+        # field per candidate per stage; tolist() yields the same Python
+        # floats/ints bit for bit.
+        slots_l = np.maximum(1, b.executors * b.concurrent).tolist()
+        startup_l = (
             calib.app_startup_base_s
             + calib.app_startup_per_executor_s * b.executors
-        )
-        runtime = np.asarray(runtime, dtype=float)
-        alive = np.ones(m, dtype=bool)
-        stage_lists: list[list[StageMetrics]] = [[] for _ in range(m)]
-        tasks_of_stage: dict[int, np.ndarray] = {}
-        zero_tasks = np.zeros(m, dtype=np.int64)
+        ).tolist()
+        execs_l = b.executors.tolist()
+        req_l = b.requested.tolist()
+        spec_l = b.speculation.tolist()
+        mult_l = b.spec_multiplier.tolist()
+        q_l = b.spec_quantile.tolist()
+        ntasks_ll = cost.num_tasks.tolist()
+        total_ll = cost.total_s.tolist()
+        driver_ll = cost.driver_s.tolist()
+        oom_ll = cost.oom.tolist()
+        cpu_ll = cost.cpu_s.tolist()
+        gc_ll = cost.gc_s.tolist()
+        disk_ll = cost.disk_s.tolist()
+        net_ll = cost.net_s.tolist()
+        spill_ll = cost.spill_mb_total.tolist()
+        spilled_ll = cost.spilled_mb.tolist()
 
-        for cjob in compiled.jobs:
-            runtime = runtime + calib.job_submit_s
-            for cstage in cjob.stages:
-                if not alive.any():
-                    break
-                stage = cstage.stage
-                num_map = zero_tasks
-                for dep in stage.depends_on:
-                    num_map = num_map + tasks_of_stage.get(dep, zero_tasks)
-                cost = compute_stage_cost_batch(
-                    stage, b, cstage.cached_mb,
-                    cstage.recompute_cpu_s_per_mb,
-                    cstage.recompute_io_mb_per_mb,
-                    num_map, calib,
-                )
-                tasks_of_stage[stage.stage_id] = cost.num_tasks
+        s_count = plan.n_stages
+        submits = plan.job_submits_before
+        stage_ids = plan.stage_ids
+        names = plan.names
+        sigma = calib.run_noise_sigma
+        job_submit_s = calib.job_submit_s
 
-                newly_oom = alive & cost.oom
-                for k in np.flatnonzero(newly_oom):
-                    k = int(k)
+        for k in range(m):
+            rng = rngs[k]
+            runtime = startup_l[k]
+            slots_k = slots_l[k]
+            spec_k = spec_l[k]
+            stages_k: list[StageMetrics] = []
+            failed = False
+            for s in range(s_count):
+                for _ in range(submits[s]):
+                    runtime += job_submit_s
+                if oom_ll[s][k]:
                     # Retries then application abort — same arithmetic as
-                    # the scalar early exit, from the batch arrays.
-                    wasted = float(cost.total_s[k]) * _MAX_ATTEMPTS + float(cost.driver_s[k])
-                    runtime[k] += wasted
-                    stage_lists[k].append(StageMetrics(
-                        stage_id=stage.stage_id, name=stage.name,
-                        num_tasks=int(cost.num_tasks[k]), duration_s=wasted,
-                        input_mb=stage.input_mb,
-                        cached_read_mb=stage.cached_read_mb,
-                        shuffle_read_mb=stage.shuffle_read_mb,
-                        shuffle_write_mb=stage.shuffle_write_mb,
+                    # the scalar early exit, from the plan arrays.
+                    wasted = total_ll[s][k] * _MAX_ATTEMPTS + driver_ll[s][k]
+                    runtime += wasted
+                    stages_k.append(StageMetrics(
+                        stage_id=stage_ids[s], name=names[s],
+                        num_tasks=ntasks_ll[s][k], duration_s=wasted,
+                        input_mb=plan.input_mb_l[s],
+                        cached_read_mb=plan.cached_read_mb_l[s],
+                        shuffle_read_mb=plan.shuffle_read_mb_l[s],
+                        shuffle_write_mb=plan.shuffle_write_mb_l[s],
                         spill_mb=0.0, cpu_time_s=0.0, gc_time_s=0.0,
                         io_time_s=0.0, net_time_s=0.0, failed=True,
                     ))
                     results[active[k]] = ExecutionResult(
                         workload=compiled.name, input_mb=compiled.input_mb,
-                        runtime_s=float(runtime[k]), success=False,
-                        stages=stage_lists[k],
-                        executors_granted=int(b.executors[k]),
-                        executors_requested=int(b.requested[k]),
-                        total_slots=int(slots[k]),
+                        runtime_s=runtime, success=False,
+                        stages=stages_k,
+                        executors_granted=execs_l[k],
+                        executors_requested=req_l[k],
+                        total_slots=slots_k,
                         failure_reason=(
-                            f"OOM in stage {stage.stage_id} ({stage.name}): "
-                            f"task working set {float(cost.spilled_mb[k]) + 0:.0f}MB+ "
+                            f"OOM in stage {stage_ids[s]} ({names[s]}): "
+                            f"task working set {spilled_ll[s][k] + 0:.0f}MB+ "
                             f"exceeds executor execution memory"
                         ),
                         environment_factor=envs[active[k]].combined(),
                         faults_injected=(),
                     )
-                    alive[k] = False
+                    failed = True
+                    break
 
-                live = np.flatnonzero(alive)
-                if live.size == 0:
-                    continue
-                schedules = schedule_stage_batch(
-                    cost.num_tasks[live], cost.total_s[live], slots[live],
-                    b.speculation[live], b.spec_multiplier[live],
-                    b.spec_quantile[live], [rngs[k] for k in live],
-                    calib=calib, noise=self.noise,
-                )
-                makespans = np.array([s.makespan_s for s in schedules])
-                elapsed = makespans + cost.driver_s[live]
-                runtime[live] = runtime[live] + elapsed
-                # One bulk unbox per array instead of a numpy scalar
-                # lookup per field per candidate; tolist() yields the
-                # same Python floats/ints bit for bit.
-                elapsed_l = elapsed.tolist()
-                ntasks_l = cost.num_tasks[live].tolist()
-                spill_l = cost.spill_mb_total[live].tolist()
-                cpu_l = cost.cpu_s[live].tolist()
-                gc_l = cost.gc_s[live].tolist()
-                disk_l = cost.disk_s[live].tolist()
-                net_l = cost.net_s[live].tolist()
-                out_mb = stage.output_mb if stage.writes_output else 0.0
-                for pos, k in enumerate(live.tolist()):
-                    n_k = ntasks_l[pos]
-                    stage_lists[k].append(StageMetrics(
-                        stage_id=stage.stage_id,
-                        name=stage.name,
-                        num_tasks=n_k,
-                        duration_s=elapsed_l[pos],
-                        input_mb=stage.input_mb,
-                        cached_read_mb=stage.cached_read_mb,
-                        shuffle_read_mb=stage.shuffle_read_mb,
-                        shuffle_write_mb=stage.shuffle_write_mb,
-                        spill_mb=spill_l[pos],
-                        cpu_time_s=cpu_l[pos] * n_k,
-                        gc_time_s=gc_l[pos] * n_k,
-                        io_time_s=disk_l[pos] * n_k,
-                        net_time_s=net_l[pos] * n_k,
-                        task_metrics=schedules[pos].task_metrics,
-                        output_mb=out_mb,
-                        writes_output=stage.writes_output,
-                    ))
-
-        sigma = calib.run_noise_sigma
-        for k in np.flatnonzero(alive):
-            k = int(k)
-            final = float(runtime[k])
-            if self.noise:
-                final *= float(
-                    rngs[k].lognormal(mean=-0.5 * sigma**2, sigma=sigma)
+                n_i = ntasks_ll[s][k]
+                if noise:
+                    durations = _sample_durations(n_i, total_ll[s][k], rng,
+                                                  calib)
+                else:
+                    durations = np.full(n_i, total_ll[s][k])
+                if spec_k and noise and n_i >= 4:
+                    median, cutoff = _median_quantile_1d(durations, q_l[k])
+                    threshold = median * max(1.01, mult_l[k])
+                    candidates = durations > max(threshold, cutoff)
+                    speculated = int(candidates.sum())
+                    if speculated:
+                        clamped = durations.copy()
+                        finish_with_copy = threshold + median
+                        clamped[candidates] = np.minimum(
+                            clamped[candidates], finish_with_copy,
+                        )
+                        extra = np.full(speculated, _median_1d(clamped) * 0.5)
+                        durations = np.concatenate([clamped, extra])
+                makespan = _list_schedule(durations, slots_k)
+                real = durations[:n_i]
+                p50, p95 = _median_quantile_1d(real, 0.95)
+                elapsed = makespan + driver_ll[s][k]
+                runtime += elapsed
+                stages_k.append(StageMetrics(
+                    stage_id=stage_ids[s],
+                    name=names[s],
+                    num_tasks=n_i,
+                    duration_s=elapsed,
+                    input_mb=plan.input_mb_l[s],
+                    cached_read_mb=plan.cached_read_mb_l[s],
+                    shuffle_read_mb=plan.shuffle_read_mb_l[s],
+                    shuffle_write_mb=plan.shuffle_write_mb_l[s],
+                    spill_mb=spill_ll[s][k],
+                    cpu_time_s=cpu_ll[s][k] * n_i,
+                    gc_time_s=gc_ll[s][k] * n_i,
+                    io_time_s=disk_ll[s][k] * n_i,
+                    net_time_s=net_ll[s][k] * n_i,
+                    task_metrics=TaskMetrics(
+                        count=n_i,
+                        mean_s=float(real.sum() / real.size),
+                        p50_s=p50,
+                        p95_s=p95,
+                        max_s=float(real.max()),
+                    ),
+                    output_mb=plan.out_mb[s],
+                    writes_output=plan.writes_output[s],
+                ))
+            if failed:
+                continue
+            for _ in range(plan.trailing_job_submits):
+                runtime += job_submit_s
+            if noise:
+                runtime *= float(
+                    rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma)
                 )
             results[active[k]] = ExecutionResult(
                 workload=compiled.name, input_mb=compiled.input_mb,
-                runtime_s=final, success=True, stages=stage_lists[k],
-                executors_granted=int(b.executors[k]),
-                executors_requested=int(b.requested[k]),
-                total_slots=int(slots[k]),
+                runtime_s=runtime, success=True, stages=stages_k,
+                executors_granted=execs_l[k],
+                executors_requested=req_l[k],
+                total_slots=slots_k,
                 environment_factor=envs[active[k]].combined(),
                 faults_injected=(),
             )

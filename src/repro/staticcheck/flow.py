@@ -23,9 +23,9 @@ from __future__ import annotations
 import ast
 import re
 from dataclasses import dataclass, field
-from typing import Callable, ClassVar, Iterable, Sequence
+from typing import ClassVar, Iterable, Sequence
 
-from .graph import CallGraph, CallSite, FunctionInfo, build_call_graph
+from .graph import CallGraph, FunctionInfo, build_call_graph
 from .model import Finding, LintResult, Severity, parse_suppressions
 
 __all__ = [
@@ -645,6 +645,7 @@ class ExceptionFlowRule(FlowRule):
 #: vectorized twin of a leaf counts as the same leaf.
 _LEAF_NAMES = frozenset({
     "compute_stage_cost", "compute_stage_cost_batch",
+    "compute_plan_cost_batch",
     "schedule_stage", "schedule_stage_batch",
     "gc_fraction", "shuffle_read", "shuffle_write", "spill_outcome",
     "serializer_of", "codec_of", "resolve_num_tasks",
@@ -674,10 +675,16 @@ _PAIR_ALLOWANCES: dict[str, tuple[frozenset[str], frozenset[str]]] = {
     ),
     # run_batch keeps the scalar path reachable as its screening
     # fallback, so its closure is a strict superset; the extra batch
-    # leaves are the scheduler kernels above.
+    # leaves are the scheduler kernels above plus the joint
+    # (stages x candidates) plan sweep, which fuses the whole
+    # compute_stage_cost_batch loop into one compiled program —
+    # bit-identity of the fused sweep (OOM masks, spill arithmetic,
+    # noise stream order) is pinned by test_batch_identity.py up to
+    # 512-candidate batches.
     "repro.sparksim.simulator.SparkSimulator.run": (
         frozenset(),
-        frozenset({"_median_1d", "_median_quantile_1d"}),
+        frozenset({"_median_1d", "_median_quantile_1d",
+                   "compute_plan_cost_batch"}),
     ),
 }
 

@@ -1,0 +1,42 @@
+"""Engine-suite fixtures: shared-memory leak detection.
+
+Every segment :mod:`repro.engine.shm` creates carries a recognizable
+prefix, so leaks are observable from the outside: any segment that
+survives a test is a bug in the executor's lifecycle bookkeeping
+(request segments must die with their batch, result segments with their
+read or the next reap).  The check runs after *each* test — a leak is
+reported next to the test that caused it, not at the end of the session
+— and once more for the whole suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.shm import PREFIX
+
+try:
+    from pathlib import Path
+
+    _SHM_DIR = Path("/dev/shm")
+    _OBSERVABLE = _SHM_DIR.is_dir()
+except OSError:                      # non-POSIX: nothing to observe
+    _OBSERVABLE = False
+
+
+def _segments() -> set[str]:
+    if not _OBSERVABLE:
+        return set()
+    return {p.name for p in _SHM_DIR.glob(f"{PREFIX}*")}
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_shm_segments():
+    """Fail any test that leaves a reprosim shared-memory segment behind."""
+    before = _segments()
+    yield
+    leaked = _segments() - before
+    assert not leaked, (
+        f"leaked shared-memory segment(s): {sorted(leaked)} — "
+        f"an executor failed to unlink on its batch/rebuild/close path"
+    )

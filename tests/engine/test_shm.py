@@ -1,0 +1,194 @@
+"""Shared-memory dispatch: codec exactness and executor lifecycle.
+
+The zero-copy path is an optimisation with two contracts: (1) the
+columnar ``Configuration`` codec round-trips *exactly* — values and
+their Python types, categoricals included; (2) the
+:class:`~repro.engine.executors.ParallelExecutor` produces bit-identical
+results to serial dispatch and never leaks a segment, including on
+crash/rebuild/timeout paths (the autouse conftest fixture asserts the
+latter after every test here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import Cluster
+from repro.cloud.interference import NOISY, QUIET, TYPICAL
+from repro.config.space import Configuration
+from repro.config.spark_params import SPARK_DEFAULTS, spark_space
+from repro.engine.engine import EvalRequest
+from repro.engine.executors import ParallelExecutor, SerialExecutor
+from repro.engine.shm import (
+    PREFIX,
+    decode_configs,
+    encode_configs,
+    read_payload,
+    unlink_segment,
+    write_payload,
+)
+from repro.sparksim.faults import FaultPlan, worker_crash
+from repro.workloads import Sort, Wordcount
+
+CLUSTER = Cluster.of("m5.2xlarge", 4)
+SPACE = spark_space()
+ENVS = (QUIET, TYPICAL, NOISY)
+
+# Values covering every column kind: typed scalars, categoricals with
+# repeats, and pickled-column fallbacks (None, tuples, mixed types).
+_SCALARS = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=False),
+    st.sampled_from(["snappy", "lz4", "zstd", ""]),
+    st.none(),
+    st.tuples(st.integers(), st.integers()),
+)
+
+
+def _round_trip(configs, indices=None):
+    seg = encode_configs(configs)
+    try:
+        return decode_configs(seg, indices)
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+class TestCodec:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=6,
+                 unique=True),
+        st.integers(min_value=1, max_value=9),
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.data(),
+    )
+    def test_round_trip_is_exact(self, keys, n_rows, seed, data):
+        # Each key's column draws one value strategy per row so columns
+        # are realistically homogeneous *or* mixed (pickled fallback).
+        configs = []
+        for _ in range(n_rows):
+            configs.append(Configuration({
+                k: data.draw(_SCALARS, label=k) for k in keys
+            }))
+        out = _round_trip(configs)
+        assert out == configs
+        for got, want in zip(out, configs):
+            for k in keys:
+                assert type(got[k]) is type(want[k]), k
+
+    def test_spark_configs_round_trip(self):
+        rng = np.random.default_rng(11)
+        configs = []
+        for _ in range(16):
+            full = dict(SPARK_DEFAULTS)
+            full.update(SPACE.sample_configuration(rng).as_dict())
+            configs.append(Configuration(full))
+        out = _round_trip(configs)
+        assert out == configs
+        for got, want in zip(out, configs):
+            for k in want:
+                assert type(got[k]) is type(want[k]), k
+
+    def test_subset_decode_selects_rows(self):
+        configs = [
+            Configuration({"a": i, "b": float(i), "c": str(i)})
+            for i in range(10)
+        ]
+        assert _round_trip(configs, [7, 1, 1]) == [
+            configs[7], configs[1], configs[1],
+        ]
+
+    def test_empty_batch_rejected(self):
+        try:
+            encode_configs([])
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("empty batch must not encode")
+
+    def test_heterogeneous_keys_rejected(self):
+        configs = [Configuration({"a": 1}), Configuration({"b": 2})]
+        try:
+            encode_configs(configs)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("mismatched key sets must not encode")
+
+    def test_payload_round_trip_and_unlink(self):
+        payload = {"results": list(range(100)), "tag": "x"}
+        name, size = write_payload(payload)
+        assert name.startswith(PREFIX)
+        assert read_payload(name, size) == payload
+        unlink_segment(name)          # already gone: must be a no-op
+
+
+def _requests(n, seed=3, workload=None):
+    rng = np.random.default_rng(seed)
+    requests = []
+    for i in range(n):
+        full = dict(SPARK_DEFAULTS)
+        full.update(SPACE.sample_configuration(rng).as_dict())
+        requests.append(EvalRequest(
+            workload=workload or Sort(), input_mb=1024.0, cluster=CLUSTER,
+            config=Configuration(full), env=ENVS[i % len(ENVS)],
+            seed=100 + i,
+        ))
+    return requests
+
+
+class TestParallelShm:
+    def test_shm_dispatch_matches_serial(self):
+        requests = _requests(24)
+        serial = SerialExecutor().run_batch(requests)
+        with ParallelExecutor(max_workers=2) as executor:
+            parallel = executor.run_batch(requests)
+            util = executor.utilization()
+        assert parallel == serial
+        assert util["pool_size"] == 2
+        assert util["workers_used"] >= 1
+        assert sum(util["chunks_by_worker"]) >= 1
+
+    def test_small_batches_fall_back_to_pickled_dispatch(self):
+        requests = _requests(4)
+        serial = SerialExecutor().run_batch(requests)
+        with ParallelExecutor(max_workers=2, shm_min_batch=8) as executor:
+            assert executor.run_batch(requests) == serial
+
+    def test_mixed_workloads_one_segment(self):
+        requests = _requests(12) + _requests(12, seed=9, workload=Wordcount())
+        serial = SerialExecutor().run_batch(requests)
+        with ParallelExecutor(max_workers=2) as executor:
+            assert executor.run_batch(requests) == serial
+
+    def test_crash_faults_fail_chunks_without_leaking(self):
+        plan = FaultPlan((worker_crash(1.0),))
+        requests = _requests(16)
+        with ParallelExecutor(max_workers=2, fault_plan=plan,
+                              shm_min_batch=2) as executor:
+            results, error = executor.run_batch_partial(requests)
+            assert error is not None
+            assert results.count(None) == len(requests)
+            # Recovery path: a rebuilt pool serves retried requests
+            # (attempt > 0 never crashes) and reaps anything outstanding.
+            executor.rebuild()
+            from dataclasses import replace
+
+            retried = [replace(r, attempt=1) for r in requests]
+            recovered, error = executor.run_batch_partial(retried)
+            assert error is None
+        clean = SerialExecutor().run_batch(requests)
+        assert recovered == clean
+
+    def test_rebuild_mid_session_keeps_answers_identical(self):
+        requests = _requests(24)
+        serial = SerialExecutor().run_batch(requests)
+        with ParallelExecutor(max_workers=2) as executor:
+            first = executor.run_batch(requests)
+            executor.rebuild()
+            second = executor.run_batch(requests)
+        assert first == second == serial

@@ -121,6 +121,34 @@ def test_noise_off_batch_identity():
                            [QUIET] * 5, [0] * 5)
 
 
+def test_large_batch_identity():
+    """The joint (stages x candidates) program holds at production widths.
+
+    512 candidates is past every chunking/vectorization threshold in the
+    batch path (plan arrays, pooled seeding, fused cost sweep), so this
+    is the regime where a broadcasting or accumulation-order bug would
+    surface; includes reject/OOM rows and repeated seeds.
+    """
+    n = 512
+    rng = np.random.default_rng(21)
+    configs = _candidates(rng, n, include_failures=True)
+    envs = [ENVS[i % len(ENVS)] for i in range(n)]
+    seeds = [(31 * i) % 97 for i in range(n)]       # many duplicate streams
+    sim = SparkSimulator()
+    _assert_batch_identity(sim, Sort(), 1024.0, configs, envs, seeds)
+
+
+def test_mixed_envs_and_duplicate_seeds():
+    """Candidates sharing a seed under different envs stay independent."""
+    rng = np.random.default_rng(13)
+    configs = _candidates(rng, 9, include_failures=True)
+    envs = [ENVS[i % len(ENVS)] for i in range(9)]
+    seeds = [5, 5, 5, 2**63 - 1, 0, 0, 7, 5, 2**63 - 1]
+    for workload, input_mb in WORKLOADS:
+        sim = SparkSimulator()
+        _assert_batch_identity(sim, workload, input_mb, configs, envs, seeds)
+
+
 def test_batch_of_one_and_empty():
     rng = np.random.default_rng(4)
     (config,) = _candidates(rng, 1, include_failures=False)

@@ -1,0 +1,125 @@
+"""PlanStore: the cross-process on-disk tier of the plan cache."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+
+from repro.cloud import Cluster
+from repro.config.spark_params import spark_space
+from repro.sparksim import SparkSimulator
+from repro.sparksim.dag import CompiledWorkload, fingerprint_jobs
+from repro.sparksim.planstore import PlanStore
+from repro.workloads import Sort, Wordcount
+
+CLUSTER = Cluster.of("m5.2xlarge", 4)
+SPACE = spark_space()
+
+
+def _compiled(workload, input_mb):
+    sim = SparkSimulator()
+    return sim.compile_workload(workload, input_mb)
+
+
+class TestStore:
+    def test_put_then_get(self, tmp_path):
+        store = PlanStore(tmp_path)
+        workload = Sort()
+        fp = fingerprint_jobs(workload.jobs(1024.0))
+        assert store.get(workload.name, 1024.0, fp) is None
+        compiled = _compiled(workload, 1024.0)
+        store.put(workload.name, 1024.0, fp, compiled)
+        loaded = store.get(workload.name, 1024.0, fp)
+        assert isinstance(loaded, CompiledWorkload)
+        assert loaded.name == compiled.name
+        assert loaded.input_mb == compiled.input_mb
+        assert store.counters() == {"hits": 1, "misses": 1, "writes": 1}
+
+    def test_distinct_keys_do_not_collide(self, tmp_path):
+        store = PlanStore(tmp_path)
+        sort, wc = Sort(), Wordcount()
+        fp_sort = fingerprint_jobs(sort.jobs(1024.0))
+        fp_wc = fingerprint_jobs(wc.jobs(1024.0))
+        store.put(sort.name, 1024.0, fp_sort, _compiled(sort, 1024.0))
+        store.put(wc.name, 1024.0, fp_wc, _compiled(wc, 1024.0))
+        assert store.get(sort.name, 1024.0, fp_sort).name == sort.name
+        assert store.get(wc.name, 1024.0, fp_wc).name == wc.name
+        assert store.get(sort.name, 2048.0, fp_sort) is None
+
+    def test_corrupt_entry_is_a_miss_and_healed(self, tmp_path):
+        store = PlanStore(tmp_path)
+        workload = Sort()
+        fp = fingerprint_jobs(workload.jobs(1024.0))
+        compiled = _compiled(workload, 1024.0)
+        store.put(workload.name, 1024.0, fp, compiled)
+        path = store._path_for(workload.name, 1024.0, fp)
+        path.write_bytes(b"torn write garbage")
+        assert store.get(workload.name, 1024.0, fp) is None
+        assert not path.exists()      # corrupt entry deleted
+        store.put(workload.name, 1024.0, fp, compiled)
+        assert store.get(workload.name, 1024.0, fp) is not None
+
+    def test_wrong_type_entry_is_a_miss(self, tmp_path):
+        store = PlanStore(tmp_path)
+        path = store._path_for("sort", 1024.0, "fp")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps({"not": "a plan"}))
+        assert store.get("sort", 1024.0, "fp") is None
+
+    def test_source_digest_invalidates(self, tmp_path, monkeypatch):
+        from repro.sparksim import planstore as module
+
+        store = PlanStore(tmp_path)
+        workload = Sort()
+        fp = fingerprint_jobs(workload.jobs(1024.0))
+        store.put(workload.name, 1024.0, fp, _compiled(workload, 1024.0))
+        monkeypatch.setattr(module, "_SOURCE_DIGEST", "different-sources")
+        assert store.get(workload.name, 1024.0, fp) is None
+
+    def test_unwritable_directory_degrades_gracefully(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the store dir should be")
+        store = PlanStore(blocker / "nested")
+        workload = Sort()
+        fp = fingerprint_jobs(workload.jobs(1024.0))
+        store.put(workload.name, 1024.0, fp, _compiled(workload, 1024.0))
+        assert store.get(workload.name, 1024.0, fp) is None
+
+
+class TestSimulatorIntegration:
+    def test_second_simulator_loads_instead_of_compiling(self, tmp_path):
+        store_a = PlanStore(tmp_path)
+        sim_a = SparkSimulator(plan_store=store_a)
+        sim_a.compile_workload(Sort(), 1024.0)
+        assert store_a.writes == 1
+
+        # A different process would construct its own store on the same
+        # directory; a fresh simulator models exactly that.
+        store_b = PlanStore(tmp_path)
+        sim_b = SparkSimulator(plan_store=store_b)
+        sim_b.compile_workload(Sort(), 1024.0)
+        assert store_b.hits == 1
+        assert store_b.writes == 0
+        assert sim_b.plan_cache_misses == 1   # content tier still missed
+
+    def test_results_identical_with_and_without_store(self, tmp_path):
+        rng = np.random.default_rng(5)
+        configs = [SPACE.sample_configuration(rng) for _ in range(4)]
+        plain = SparkSimulator()
+        stored = SparkSimulator(plan_store=PlanStore(tmp_path))
+        warmed = SparkSimulator(plan_store=PlanStore(tmp_path))
+        for config in configs:
+            want = plain.run(Sort(), 1024.0, CLUSTER, config, seed=7)
+            assert stored.run(Sort(), 1024.0, CLUSTER, config, seed=7) == want
+            assert warmed.run(Sort(), 1024.0, CLUSTER, config, seed=7) == want
+
+    def test_store_only_consulted_on_content_miss(self, tmp_path):
+        store = PlanStore(tmp_path)
+        sim = SparkSimulator(plan_store=store)
+        workload = Sort()
+        sim.compile_workload(workload, 1024.0)
+        sim.compile_workload(workload, 1024.0)    # identity-tier hit
+        sim.compile_workload(Sort(), 1024.0)      # content-tier hit
+        assert store.misses == 1
+        assert store.hits == 0

@@ -28,15 +28,20 @@ def test_repo_flow_clean():
     """The interprocedural gate: RF001-RF005 over the whole call graph.
 
     Every genuine violation must be either fixed or carry a per-line
-    ``# staticcheck: ignore[RFxxx]`` with a justifying comment; the two
-    known suppressions (the config_fingerprint memo and the best-effort
-    pool close) are pinned here so silent growth of the waiver list
-    fails the gate.
+    ``# staticcheck: ignore[RFxxx]`` with a justifying comment; the
+    known suppressions are pinned here so silent growth of the waiver
+    list fails the gate: the config_fingerprint memo (RF002), the
+    rngpool placeholder bit generator whose state is overwritten before
+    any draw (RF001), the deliberately worker-local shm attachment
+    cache (RF003), and the two best-effort teardowns — broken-pool
+    close and resource-tracker unregister (RF004).
     """
     report = lint_flow([str(PACKAGE)])
     pretty = "\n".join(f.format() for f in report.result.sorted_findings())
     assert report.result.findings == [], f"flow violations:\n{pretty}"
-    assert report.result.suppressed_by_rule() == {"RF002": 1, "RF004": 1}, (
+    assert report.result.suppressed_by_rule() == {
+        "RF001": 1, "RF002": 1, "RF003": 1, "RF004": 2,
+    }, (
         "the reviewed suppression inventory changed; update this pin "
         "only alongside a justified per-line ignore"
     )
