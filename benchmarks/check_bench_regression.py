@@ -1,12 +1,20 @@
-"""Gate throughput regressions against the committed benchmark JSON.
+"""Gate benchmark regressions against a committed benchmark JSON.
 
-Compares a freshly-generated ``BENCH_throughput.json`` against the
-committed baseline and fails when a gated scenario's evals/s regressed
-by more than its tolerance.  Tolerances are per scenario: cold
-single-process paths are tight (their noise is the code under guard),
-while pool-backed scenarios get a looser bound — their numbers also
-move with host core count and fork/IPC weather.  Warm-cache scenarios
-are excluded entirely: they measure cache bookkeeping, not simulation.
+Compares a freshly-generated benchmark report against the committed
+baseline and fails when a gated scenario metric regressed beyond its
+tolerance.  The gate table is selected by the report's ``benchmark``
+field, so one checker serves every ``BENCH_*.json`` in the repo:
+
+* **evaluation engine throughput** (``BENCH_throughput.json``) gates
+  ``evals_per_s`` per scenario.  Cold single-process paths are tight
+  (their noise is the code under guard); pool-backed scenarios get a
+  looser bound — their numbers also move with host core count and
+  fork/IPC weather.  Warm-cache scenarios are excluded entirely: they
+  measure cache bookkeeping, not simulation.
+* **multi-tenant service load** (``BENCH_service.json``) gates the two
+  service SLIs: ``runs_per_s`` (higher is better; loose — the asyncio +
+  shard-thread interleaving moves with the host) and
+  ``tune_latency_p99_s`` (lower is better; may at most double).
 
 Usage::
 
@@ -22,62 +30,97 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import dataclass
 from pathlib import Path
 
-#: default fractional evals/s drop allowed for a tight (cold-path) gate
+#: default fractional drop allowed for a tight (cold-path) gate
 DEFAULT_TOLERANCE = 0.30
 
-#: gated scenarios -> allowed fractional evals/s drop at the default
-#: ``--max-regression``.  The pool-backed scenario tolerates more: its
-#: elapsed time includes fork + IPC costs the host controls.
-GATED_SCENARIOS: dict[str, float] = {
-    "sim_scalar_cold": DEFAULT_TOLERANCE,
-    "sim_batch_cold": DEFAULT_TOLERANCE,
-    "sim_batch_joint": DEFAULT_TOLERANCE,
-    "engine_serial_scalar": DEFAULT_TOLERANCE,
-    "engine_serial": DEFAULT_TOLERANCE,
-    "engine_parallel_shm": 0.60,
+
+@dataclass(frozen=True)
+class Gate:
+    """One gated metric of one scenario."""
+
+    metric: str
+    tolerance: float              # allowed fractional regression
+    higher_is_better: bool = True
+
+
+#: report ``benchmark`` field -> {scenario name -> gates}
+GATED_BENCHMARKS: dict[str, dict[str, tuple[Gate, ...]]] = {
+    "evaluation engine throughput": {
+        "sim_scalar_cold": (Gate("evals_per_s", DEFAULT_TOLERANCE),),
+        "sim_batch_cold": (Gate("evals_per_s", DEFAULT_TOLERANCE),),
+        "sim_batch_joint": (Gate("evals_per_s", DEFAULT_TOLERANCE),),
+        "engine_serial_scalar": (Gate("evals_per_s", DEFAULT_TOLERANCE),),
+        "engine_serial": (Gate("evals_per_s", DEFAULT_TOLERANCE),),
+        "engine_parallel_shm": (Gate("evals_per_s", 0.60),),
+    },
+    "multi-tenant service load": {
+        "load_1000x100": (
+            Gate("runs_per_s", 0.60),
+            Gate("tune_latency_p99_s", 1.00, higher_is_better=False),
+        ),
+    },
 }
 
 
 def check(baseline: dict, fresh: dict, max_regression: float) -> list[str]:
     failures = []
     scale = max_regression / DEFAULT_TOLERANCE
+    name = fresh.get("benchmark")
+    gates = GATED_BENCHMARKS.get(name)
+    if gates is None:
+        return [f"unknown benchmark {name!r}: no gate table"]
+    if baseline.get("benchmark") not in (None, name):
+        return [
+            f"baseline is for {baseline.get('benchmark')!r}, fresh for {name!r}"
+        ]
     base_scenarios = baseline.get("scenarios", {})
     fresh_scenarios = fresh.get("scenarios", {})
-    for name, tolerance in GATED_SCENARIOS.items():
-        base = base_scenarios.get(name)
-        new = fresh_scenarios.get(name)
+    for scenario, scenario_gates in gates.items():
+        base = base_scenarios.get(scenario)
+        new = fresh_scenarios.get(scenario)
         if base is None:
             # The committed baseline predates this scenario; nothing to
             # regress against yet — the next regeneration picks it up.
             continue
         if new is None:
-            failures.append(f"{name}: missing from fresh report")
+            failures.append(f"{scenario}: missing from fresh report")
             continue
-        allowed = min(tolerance * scale, 0.99)
-        base_eps = float(base["evals_per_s"])
-        new_eps = float(new["evals_per_s"])
-        floor = base_eps * (1.0 - allowed)
-        if new_eps < floor:
-            failures.append(
-                f"{name}: {new_eps:.1f} evals/s is "
-                f"{1.0 - new_eps / base_eps:.0%} below the committed "
-                f"{base_eps:.1f} (allowed: {allowed:.0%})"
-            )
+        for gate in scenario_gates:
+            allowed = gate.tolerance * scale
+            if gate.higher_is_better:
+                allowed = min(allowed, 0.99)
+            base_value = float(base[gate.metric])
+            new_value = float(new[gate.metric])
+            if gate.higher_is_better:
+                bound = base_value * (1.0 - allowed)
+                regressed = new_value < bound
+                drop = 1.0 - new_value / base_value if base_value else 0.0
+            else:
+                bound = base_value * (1.0 + allowed)
+                regressed = new_value > bound
+                drop = new_value / base_value - 1.0 if base_value else 0.0
+            if regressed:
+                failures.append(
+                    f"{scenario}.{gate.metric}: {new_value:.2f} is "
+                    f"{drop:.0%} {'below' if gate.higher_is_better else 'above'} "
+                    f"the committed {base_value:.2f} (allowed: {allowed:.0%})"
+                )
     return failures
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", type=Path,
-                        help="committed BENCH_throughput.json")
+                        help="committed benchmark JSON")
     parser.add_argument("fresh", type=Path,
-                        help="freshly generated BENCH_throughput.json")
+                        help="freshly generated benchmark JSON")
     parser.add_argument("--max-regression", type=float,
                         default=DEFAULT_TOLERANCE,
-                        help="tight-gate fractional evals/s drop; scales "
-                             "every per-scenario tolerance (default 0.30)")
+                        help="tight-gate fractional drop; scales every "
+                             "per-scenario tolerance (default 0.30)")
     args = parser.parse_args(argv)
     if not 0.0 <= args.max_regression < 1.0:
         parser.error("--max-regression must be in [0, 1)")
@@ -85,17 +128,19 @@ def main(argv=None) -> int:
     baseline = json.loads(args.baseline.read_text())
     fresh = json.loads(args.fresh.read_text())
     failures = check(baseline, fresh, args.max_regression)
-    for name in GATED_SCENARIOS:
-        scenario = fresh.get("scenarios", {}).get(name)
-        if scenario:
-            print(f"{name:<24}{float(scenario['evals_per_s']):>10.1f} evals/s")
+    for scenario, scenario_gates in GATED_BENCHMARKS.get(
+            fresh.get("benchmark"), {}).items():
+        data = fresh.get("scenarios", {}).get(scenario)
+        if data:
+            for gate in scenario_gates:
+                print(f"{scenario}.{gate.metric:<32}"
+                      f"{float(data[gate.metric]):>12.2f}")
     if failures:
-        print("\nthroughput regression:", file=sys.stderr)
+        print("\nbenchmark regression:", file=sys.stderr)
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         return 1
-    print("\nno cold-path regression beyond "
-          f"{args.max_regression:.0%} tolerance")
+    print(f"\nno regression beyond {args.max_regression:.0%} base tolerance")
     return 0
 
 

@@ -4,6 +4,7 @@ from .amortization import AmortizationInputs, AmortizationReport, analyze_amorti
 from .characterization import FEATURE_NAMES, probe_configuration, signature
 from .elasticity import ElasticScaler, ScalerObservation
 from .history import ExecutionRecord, HistoryStore
+from .histlog import HistoryLog
 from .persistence import load_history, save_history
 from .retuning import (
     CusumDetector,
@@ -20,6 +21,7 @@ from .transfer import TransferPlan, build_transfer_plan
 
 __all__ = [
     "HistoryStore",
+    "HistoryLog",
     "ExecutionRecord",
     "save_history",
     "load_history",

@@ -7,57 +7,45 @@ system configurations, across users."  The store records every execution
 with its observable metrics signature; the similarity and transfer
 modules mine it *without* access to ground-truth workload identity
 across tenants (labels are per-tenant opaque strings).
+
+Storage lives in an append-only :class:`~repro.core.histlog.HistoryLog`
+(sealed immutable segments, periodic snapshot compaction, lock-free
+concurrent readers); this class is the *query view* over one log.  The
+view API is unchanged from the original in-memory store, so similarity,
+transfer, SLO references and persistence work record-for-record
+identically — but many tenants can now append and query concurrently,
+and a single log can back several service shards at once.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import numpy as np
 
 from ..config.space import Configuration
 from ..sparksim.metrics import ExecutionResult
+from .histlog import ExecutionRecord, HistoryLog
 
 __all__ = ["ExecutionRecord", "HistoryStore"]
 
 
-@dataclass(frozen=True)
-class ExecutionRecord:
-    """One workload execution as the provider sees it."""
+class HistoryStore:
+    """Multi-tenant execution history: query view over a ``HistoryLog``."""
 
-    record_id: int
-    tenant: str
-    workload_label: str          # tenant-scoped opaque label
-    input_mb: float
-    cluster: str                 # e.g. "4x h1.4xlarge (aws)"
-    config: Configuration
-    runtime_s: float
-    success: bool
-    signature: np.ndarray        # workload characterization vector
-    #: logical timestamp (provider-side event counter)
-    timestamp: int = 0
+    def __init__(self, log: HistoryLog | None = None):
+        self._log = log if log is not None else HistoryLog()
 
     @property
-    def key(self) -> tuple[str, str]:
-        return (self.tenant, self.workload_label)
-
-
-class HistoryStore:
-    """In-memory multi-tenant execution history with query helpers."""
-
-    def __init__(self):
-        self._records: list[ExecutionRecord] = []
-        self._next_id = 0
-        self._clock = 0
+    def log(self) -> HistoryLog:
+        """The backing append-only log (shared across service shards)."""
+        return self._log
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._log)
 
     def record(self, tenant: str, workload_label: str, input_mb: float,
                cluster: str, config: Configuration, result: ExecutionResult,
                signature: np.ndarray) -> ExecutionRecord:
-        rec = ExecutionRecord(
-            record_id=self._next_id,
+        return self._log.append_new(
             tenant=tenant,
             workload_label=workload_label,
             input_mb=input_mb,
@@ -65,13 +53,8 @@ class HistoryStore:
             config=config,
             runtime_s=result.runtime_s,
             success=result.success,
-            signature=np.asarray(signature, dtype=float),
-            timestamp=self._clock,
+            signature=signature,
         )
-        self._next_id += 1
-        self._clock += 1
-        self._records.append(rec)
-        return rec
 
     def add(self, record: ExecutionRecord) -> None:
         """Insert a pre-built record (e.g. loaded from disk).
@@ -79,25 +62,23 @@ class HistoryStore:
         Advances the id/clock counters past the record's, so records
         created afterwards never collide with loaded ones.
         """
-        self._records.append(record)
-        self._next_id = max(self._next_id, record.record_id + 1)
-        self._clock = max(self._clock, record.timestamp + 1)
+        self._log.append(record)
 
     # --- queries ----------------------------------------------------------
     def all(self) -> list[ExecutionRecord]:
-        return list(self._records)
+        return list(self._log.snapshot())
 
     def for_workload(self, tenant: str, workload_label: str) -> list[ExecutionRecord]:
-        return [r for r in self._records if r.key == (tenant, workload_label)]
+        return [r for r in self._log.snapshot() if r.key == (tenant, workload_label)]
 
     def tenants(self) -> list[str]:
-        return sorted({r.tenant for r in self._records})
+        return sorted({r.tenant for r in self._log.snapshot()})
 
     def workload_keys(self) -> list[tuple[str, str]]:
-        return sorted({r.key for r in self._records})
+        return sorted({r.key for r in self._log.snapshot()})
 
     def successful(self) -> list[ExecutionRecord]:
-        return [r for r in self._records if r.success]
+        return [r for r in self._log.snapshot() if r.success]
 
     def best_for(self, tenant: str, workload_label: str) -> ExecutionRecord | None:
         runs = [r for r in self.for_workload(tenant, workload_label) if r.success]

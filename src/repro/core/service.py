@@ -18,6 +18,7 @@ four principles of Section IV:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from ..cloud.cluster import Cluster
@@ -89,15 +90,23 @@ class TuningService:
                  engine: EvaluationEngine | None = None,
                  executor: str = "serial",
                  max_workers: int | None = None,
+                 store: HistoryStore | None = None,
+                 ledger: CostLedger | None = None,
                  seed: int = 0):
         self.provider = provider
         self.simulator = simulator or SparkSimulator()
         self.disc_space = disc_space or spark_core_space()
         self.cloud_space = cloud_space(provider)
-        self.store = HistoryStore()
-        self.ledger = CostLedger()
+        #: injectable so several service shards can share one provider
+        #: history log and one billing ledger (both are thread-safe)
+        self.store = store if store is not None else HistoryStore()
+        self.ledger = ledger if ledger is not None else CostLedger()
         self.seed = seed
         self._session_counter = 0
+        # Session seeds must be collision-free under the concurrent front
+        # end: two sessions sharing a seed would draw identical candidate
+        # streams and masquerade as cross-tenant amortization.
+        self._seed_lock = threading.Lock()
         self.interference = (
             InterferenceModel(level=interference_level, seed=seed)
             if interference_level > 0 else None
@@ -117,8 +126,9 @@ class TuningService:
         )
 
     def _next_seed(self) -> int:
-        self._session_counter += 1
-        return self.seed + 7919 * self._session_counter
+        with self._seed_lock:
+            self._session_counter += 1
+            return self.seed + 7919 * self._session_counter
 
     def engine_counters(self) -> dict[str, float]:
         """Hit/miss/latency counters of the shared evaluation engine."""
@@ -163,8 +173,15 @@ class TuningService:
     def tune_disc(self, tenant: str, workload_label: str, workload,
                   input_mb: float, cluster: Cluster, budget: int = 25,
                   use_transfer: bool = True,
-                  batch_size: int = 1) -> tuple[TuningSession, list[str]]:
-        """Tune the Spark configuration, warm-started from similar history."""
+                  batch_size: int = 1,
+                  tuner: Tuner | None = None) -> tuple[TuningSession, list[str]]:
+        """Tune the Spark configuration, warm-started from similar history.
+
+        ``tuner`` overrides the default Bayesian optimizer — the service
+        layer uses this to run lightweight (e.g. random-search) sessions
+        under load; transfer observations are then injected through the
+        tuner's plain ``observe`` protocol.
+        """
         seed = self._next_seed()
         objective = EngineObjective(
             self.engine, workload, input_mb, cluster=cluster,
@@ -185,9 +202,14 @@ class TuningService:
         probe_cost = objective(probe_configuration())
         probe_result = objective.last_result
         sig = signature(probe_result)
+        # Record the probe exactly as it launched (fully resolved and
+        # repaired): the tuner observes the post-repair projection below,
+        # and a history entry for a configuration that never ran would
+        # poison every transfer warm-start replaying it.
+        _, probe_as_run = objective.resolve(probe_configuration())
         self.store.record(
             tenant, workload_label, input_mb, cluster.describe(),
-            probe_configuration(), probe_result, sig,
+            probe_as_run, probe_result, sig,
         )
         warm_start, sources = [], []
         if use_transfer:
@@ -198,11 +220,14 @@ class TuningService:
             )
             warm_start = plan.observations
             sources = [f"{s.tenant}/{s.workload_label}" for s in plan.sources]
-        tuner = BayesOptTuner(
-            self.disc_space, seed=seed,
-            n_init=4 if warm_start else 8,
-            warm_start=warm_start or None,
-        )
+        if tuner is None:
+            tuner = BayesOptTuner(
+                self.disc_space, seed=seed,
+                n_init=4 if warm_start else 8,
+                warm_start=warm_start or None,
+            )
+        elif warm_start:
+            tuner.observe_batch(warm_start)
         session = TuningSession(
             tenant=tenant, workload_label=workload_label, workload=workload,
             input_mb=input_mb, cluster=cluster, tuner=tuner,
@@ -211,7 +236,6 @@ class TuningService:
         # The probe is a paid measurement: feed it to the tuner and the
         # campaign history (as it actually launched, post-repair), so the
         # deployed configuration is never worse than the probe.
-        _, probe_as_run = objective.resolve(probe_configuration())
         projected = Configuration({
             name: probe_as_run[name] for name in self.disc_space.names
         })
@@ -234,37 +258,55 @@ class TuningService:
                cloud_budget: int = 12, disc_budget: int = 25,
                use_transfer: bool = True,
                cloud_metric: str = "price",
-               batch_size: int = 1) -> Deployment:
+               batch_size: int = 1,
+               cluster: Cluster | None = None,
+               disc_tuner: Tuner | None = None) -> Deployment:
         """Deploy a workload with everything tuned on the tenant's behalf.
 
         ``cloud_metric`` expresses the user's trade-off (Section IV.D: "do
         I need the results quickly no matter the cost, or am I willing to
         wait?") — ``"price"`` minimizes dollar cost per run, ``"runtime"``
-        minimizes wall-clock.
+        minimizes wall-clock.  A caller-supplied ``cluster`` skips the
+        cloud stage entirely (the service layer pins recurring tenants to
+        their provisioned cluster), and ``disc_tuner`` overrides the DISC
+        stage's optimizer.
         """
         label = workload_label or workload.name
-        cluster, cloud_evals = self.tune_cloud(
-            workload, input_mb, budget=cloud_budget, metric=cloud_metric,
-        )
+        if cluster is not None:
+            cloud_evals = 0
+        else:
+            cluster, cloud_evals = self.tune_cloud(
+                workload, input_mb, budget=cloud_budget, metric=cloud_metric,
+            )
         session, sources = self.tune_disc(
             tenant, label, workload, input_mb, cluster,
             budget=disc_budget, use_transfer=use_transfer,
-            batch_size=batch_size,
+            batch_size=batch_size, tuner=disc_tuner,
         )
         best = session.result.best
         # Deploy the configuration as the objective actually launched it
         # (fully resolved against defaults and repaired to fit the cluster).
         _, deployed_config = session.objective.resolve(best.config)
         slo_report = None
+        reference_evals = 0
         if slo is not None:
-            reference = self._slo_reference(slo, tenant, label, session)
+            reference, reference_evals = self._slo_reference(
+                slo, tenant, label, session,
+            )
             if reference is not None:
-                slo_report = evaluate_slo(slo, best.cost, reference)
+                slo_report = evaluate_slo(
+                    slo, best.cost, reference,
+                    reference_evaluations=reference_evals,
+                )
         return Deployment(
             tenant=tenant, workload_label=label, workload=workload,
             input_mb=input_mb, cluster=cluster, config=deployed_config,
             expected_runtime_s=best.cost, slo_report=slo_report,
-            tuning_evaluations=cloud_evals + session.result.n_evaluations,
+            # Every paid evaluation counts — including the SLO reference
+            # run, which is charged to the ledger like any other.
+            tuning_evaluations=(
+                cloud_evals + session.result.n_evaluations + reference_evals
+            ),
             transferred_from=sources,
         )
 
@@ -287,18 +329,26 @@ class TuningService:
         return run_tuner_batched(tuner, objective, budget, batch_size=batch_size)
 
     def _slo_reference(self, slo: TuningSLO, tenant: str, label: str,
-                       session: TuningSession) -> float | None:
+                       session: TuningSession) -> tuple[float | None, int]:
+        """The SLO's reference runtime plus the paid evaluations it cost.
+
+        ``IMPROVEMENT_OVER_DEFAULT`` measures the default configuration —
+        a real, ledger-charged execution that happens *after* the session
+        ended, so it must be reported to the caller and counted toward
+        the deployment's evaluation total (it used to be silently charged
+        and uncounted).  The history-based metrics are free lookups.
+        """
         if slo.metric is SLOMetric.IMPROVEMENT_OVER_DEFAULT:
-            return session.objective(self.disc_space.default_configuration())
+            return session.objective(self.disc_space.default_configuration()), 1
         if slo.metric is SLOMetric.WITHIN_BEST_SIMILAR:
             runs = [
                 r for r in self.store.successful()
                 if r.key != (tenant, label)
             ]
-            return min((r.runtime_s for r in runs), default=None)
+            return min((r.runtime_s for r in runs), default=None), 0
         # WITHIN_OPTIMAL: best the service has ever seen for this workload.
         best = self.store.best_for(tenant, label)
-        return best.runtime_s if best else None
+        return (best.runtime_s if best else None), 0
 
     # --- principle 2: production monitoring + auto re-tuning ----------------
     def run_production(self, deployment: Deployment, input_sizes_mb,

@@ -1,0 +1,56 @@
+"""Multi-tenant tuning service: async front end over sharded sessions.
+
+The :mod:`repro.core` service made operational (paper Section IV read as
+a provider service, KEA-style): admission control at the front door,
+per-tenant SLO budgets driving a priority scheduler, tuning sessions
+sharded by workload fingerprint so similar tenants share warm models,
+all appending to one lock-free history log.
+
+Modules:
+
+* :mod:`~repro.core.serviced.admission` — bounded queue + per-tenant caps
+* :mod:`~repro.core.serviced.scheduler` — SLO budgets, priority queue
+* :mod:`~repro.core.serviced.sharding` — fingerprints + shard pool
+* :mod:`~repro.core.serviced.frontend` — asyncio submit/dispatch loop
+* :mod:`~repro.core.serviced.loadgen` — many-tenant load scenarios
+"""
+
+from .admission import (
+    REJECT_BUDGET,
+    REJECT_QUEUE_FULL,
+    REJECT_TENANT_CAP,
+    AdmissionController,
+    AdmissionDecision,
+)
+from .frontend import (
+    RunBatchRequest,
+    ServiceFrontEnd,
+    SubmitOutcome,
+    TuneRequest,
+    ingest_production_runs,
+)
+from .loadgen import LoadReport, LoadScenario, build_stack, run_load
+from .scheduler import SLOPriorityScheduler, TenantBudget
+from .sharding import ShardPool, shard_index, workload_fingerprint
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "REJECT_BUDGET",
+    "REJECT_QUEUE_FULL",
+    "REJECT_TENANT_CAP",
+    "TenantBudget",
+    "SLOPriorityScheduler",
+    "ShardPool",
+    "shard_index",
+    "workload_fingerprint",
+    "TuneRequest",
+    "RunBatchRequest",
+    "SubmitOutcome",
+    "ServiceFrontEnd",
+    "ingest_production_runs",
+    "LoadScenario",
+    "LoadReport",
+    "build_stack",
+    "run_load",
+]

@@ -1,0 +1,168 @@
+"""Fingerprint-sharded worker pool for tuning sessions.
+
+One evaluation engine's memoization cache only amortizes tuning cost
+(paper principle 3) for candidates *it* has seen.  The service layer
+therefore shards tuning sessions by **workload fingerprint**: tenants
+running similar workloads land on the same shard, whose engine cache,
+compiled-plan cache and warm models answer their repeated candidates —
+while unrelated workloads spread across shards and run concurrently.
+
+Fingerprints come in two strengths:
+
+* Before any execution exists, :func:`workload_fingerprint` hashes the
+  observable submission facts — workload name and the input-size decade
+  — which is what a provider knows at submit time.
+* Once the tenant has history, the caller can pass the workload's mean
+  characterization *signature* (quantized, so near-identical workloads
+  collide on purpose) for content-based placement that survives tenants
+  naming the same workload differently.
+
+The pool itself reuses the repo's dispatch idioms: each shard is one
+worker thread draining a queue (the thread-per-shard analogue of
+:class:`~repro.engine.executors.ParallelExecutor`'s chunk futures —
+results travel back through :class:`concurrent.futures.Future`), and
+each shard owns a full :class:`~repro.core.service.TuningService` whose
+engine may itself fan evaluations out to a process pool with
+shared-memory dispatch (``engine/shm.py``).  Shards share one
+append-only history log and one cost ledger — both thread-safe — so
+cross-tenant transfer and billing stay global while model warmth stays
+shard-local.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import queue
+import threading
+from collections import Counter
+from concurrent.futures import Future
+from typing import Callable
+
+import numpy as np
+
+from ..service import TuningService
+
+__all__ = ["workload_fingerprint", "shard_index", "ShardPool"]
+
+
+def workload_fingerprint(workload: object, input_mb: float,
+                         signature: np.ndarray | None = None) -> str:
+    """Stable hex fingerprint of a submission's workload identity.
+
+    With a characterization ``signature`` (a returning tenant), the
+    fingerprint is content-based: the signature is quantized to one
+    decimal per feature so measurement noise and tiny variants still
+    collide onto the same shard.  Without one (first contact), it falls
+    back to the submission facts: workload name + input-size decade.
+    """
+    if signature is not None:
+        sig = np.asarray(signature, dtype=float)
+        payload = "sig:" + ",".join(f"{x:.1f}" for x in sig)
+    else:
+        name = getattr(workload, "name", type(workload).__name__)
+        decade = int(np.floor(np.log10(max(1.0, float(input_mb)))))
+        payload = f"sub:{name}:{decade}"
+    return hashlib.blake2b(payload.encode(), digest_size=8).hexdigest()
+
+
+def shard_index(fingerprint: str, n_shards: int) -> int:
+    """Map a fingerprint onto one of ``n_shards`` shards."""
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    return int(fingerprint, 16) % n_shards
+
+
+class _Shard(threading.Thread):
+    """One worker thread owning one TuningService."""
+
+    def __init__(self, index: int, service: TuningService):
+        super().__init__(name=f"tuning-shard-{index}", daemon=True)
+        self.index = index
+        self.service = service
+        self.jobs: queue.Queue = queue.Queue()
+        self.n_jobs = 0
+
+    def run(self) -> None:
+        while True:
+            item = self.jobs.get()
+            if item is None:
+                break
+            job, future = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(job(self.service))
+            except BaseException as exc:
+                future.set_exception(exc)
+            finally:
+                self.n_jobs += 1
+
+
+class ShardPool:
+    """Fingerprint-addressed pool of tuning shards.
+
+    ``service_factory(shard_index)`` builds each shard's
+    :class:`~repro.core.service.TuningService`; give every factory call
+    the same (thread-safe) ``store=``/``ledger=`` to share history and
+    billing across shards while keeping engines — and their warm caches
+    — shard-local.
+    """
+
+    def __init__(self, n_shards: int,
+                 service_factory: Callable[[int], TuningService]):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self._shards = [_Shard(i, service_factory(i)) for i in range(n_shards)]
+        self.jobs_by_fingerprint: Counter[str] = Counter()
+        self._closed = False
+        for shard in self._shards:
+            shard.start()
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def shard_of(self, fingerprint: str) -> int:
+        return shard_index(fingerprint, len(self._shards))
+
+    def service_of(self, shard: int) -> TuningService:
+        return self._shards[shard].service
+
+    def submit(self, shard: int, job: Callable[[TuningService], object],
+               fingerprint: str | None = None) -> Future:
+        """Queue ``job`` on ``shard``; the result arrives via the future."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if fingerprint is not None:
+            self.jobs_by_fingerprint[fingerprint] += 1
+        future: Future = Future()
+        self._shards[shard].jobs.put((job, future))
+        return future
+
+    def stats(self) -> dict:
+        """Per-shard job counts plus each shard engine's amortization."""
+        return {
+            "n_shards": len(self._shards),
+            "jobs_by_shard": [s.n_jobs for s in self._shards],
+            "distinct_fingerprints": len(self.jobs_by_fingerprint),
+            "engine_hits_by_shard": [
+                s.service.engine.stats.hits for s in self._shards
+            ],
+        }
+
+    def close(self) -> None:
+        """Stop every shard after its queue drains."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            shard.jobs.put(None)
+        for shard in self._shards:
+            shard.join()
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

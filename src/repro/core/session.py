@@ -78,10 +78,15 @@ class TuningSession:
         probe = probe_configuration()
         cost = self.objective(probe)
         exec_result = self.objective.last_result
-        self._record(probe, exec_result)
+        # Record — and observe — the probe as it actually launched
+        # (resolved and, if the objective repairs, repaired): a history
+        # entry for a configuration that never ran poisons transfer
+        # warm-starts replaying it.
+        _, probe_as_run = self.objective.resolve(probe)
+        self._record(probe_as_run, exec_result)
         if observe:
             projected = Configuration({
-                name: probe[name] for name in self.tuner.space.names
+                name: probe_as_run[name] for name in self.tuner.space.names
             })
             obs = self.tuner.observe(
                 projected, cost, succeeded=_call_succeeded(self.objective)

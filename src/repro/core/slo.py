@@ -50,6 +50,11 @@ class SLOReport:
     reference_runtime_s: float
     value: float          # metric value (distance fraction or improvement)
     attained: bool
+    #: paid executions spent *measuring the reference itself* (e.g. the
+    #: default-configuration run behind IMPROVEMENT_OVER_DEFAULT) — part
+    #: of the tenant's bill, audited here so it can never be silently
+    #: charged outside the deployment's evaluation count again
+    reference_evaluations: int = 0
 
     def describe(self) -> str:
         if self.slo.metric is SLOMetric.IMPROVEMENT_OVER_DEFAULT:
@@ -66,12 +71,15 @@ class SLOReport:
 
 
 def evaluate_slo(slo: TuningSLO, achieved_runtime_s: float,
-                 reference_runtime_s: float) -> SLOReport:
+                 reference_runtime_s: float,
+                 reference_evaluations: int = 0) -> SLOReport:
     """Evaluate ``achieved`` against ``reference`` under the SLO's metric.
 
     ``reference`` means: the optimal runtime (WITHIN_OPTIMAL), the best
     similar workload's runtime (WITHIN_BEST_SIMILAR), or the default-
     configuration runtime (IMPROVEMENT_OVER_DEFAULT).
+    ``reference_evaluations`` audits any paid executions it took to
+    *measure* that reference.
     """
     if achieved_runtime_s <= 0 or reference_runtime_s <= 0:
         raise ValueError("runtimes must be positive")
@@ -87,4 +95,5 @@ def evaluate_slo(slo: TuningSLO, achieved_runtime_s: float,
         reference_runtime_s=reference_runtime_s,
         value=value,
         attained=attained,
+        reference_evaluations=reference_evaluations,
     )

@@ -16,6 +16,7 @@ results whether it runs serially or across workers.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, replace
 from typing import Any, ClassVar
@@ -134,6 +135,15 @@ class EvaluationEngine:
             )
         self.retry = retry
         self.cache = EvaluationCache(capacity=cache_size) if cache_size else None
+        # One batch in flight at a time: the cache, the hit/miss/latency
+        # counters and above all the executor machinery (pool futures,
+        # shared-memory segment reaping, the simulator's plan cache) are
+        # single-owner structures.  The concurrent service front end may
+        # call evaluate_batch from several threads; this lock makes that
+        # safe — lost counter updates were real data races — while
+        # parallelism comes from per-shard engines and the process pool
+        # *inside* a dispatch, not from interleaved dispatches.
+        self._lock = threading.Lock()
         self.failures = FailureCounters()
         self.n_evaluated = 0         # simulations actually run (cache misses)
         self.n_requested = 0         # total requests answered
@@ -183,9 +193,14 @@ class EvaluationEngine:
 
         Duplicate requests inside one batch are simulated once and
         fanned out — population tuners re-propose elites, and a provider
-        batch may carry the same candidate for several tenants.
+        batch may carry the same candidate for several tenants.  Safe to
+        call from multiple threads (batches are serialized internally;
+        see ``_lock``).
         """
-        requests = list(requests)
+        with self._lock:
+            return self._evaluate_batch_locked(list(requests))
+
+    def _evaluate_batch_locked(self, requests) -> list[EvalRecord]:
         self.n_requested += len(requests)
         keys = [r.cache_key() for r in requests]
         records: list[EvalRecord | None] = [None] * len(requests)

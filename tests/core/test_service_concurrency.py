@@ -1,0 +1,142 @@
+"""Concurrency stress tests for the shared service state.
+
+The multi-tenant front end runs sessions on several shard threads at
+once; these tests pin the thread-safety fixes that makes that sound:
+seed allocation, ledger charges, engine batch dispatch and the shard
+pool itself under concurrent load.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.cloud.cluster import Cluster
+from repro.cloud.pricing import CostLedger
+from repro.core import HistoryStore, TuningService
+from repro.core.histlog import HistoryLog
+from repro.core.serviced import ShardPool
+from repro.engine import EngineObjective, EvaluationEngine
+from repro.sparksim import SparkSimulator
+from repro.workloads import Wordcount
+
+
+class TestSeedAllocation:
+    def test_concurrent_next_seed_never_collides(self):
+        """Two sessions sharing a seed would draw identical candidate
+        streams and fake cross-tenant amortization."""
+        service = TuningService(seed=1)
+        seeds: list[int] = []
+        lock = threading.Lock()
+
+        def worker():
+            mine = [service._next_seed() for _ in range(200)]
+            with lock:
+                seeds.extend(mine)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seeds) == 1600
+        assert len(set(seeds)) == 1600
+
+
+class TestLedgerCharges:
+    def test_concurrent_charges_sum_exactly(self):
+        ledger = CostLedger()
+        cluster = Cluster.of("m5.xlarge", 4)
+
+        def worker(k):
+            for _ in range(250):
+                if k % 2:
+                    ledger.charge_tuning(cluster, 60.0)
+                else:
+                    ledger.charge_production(cluster, 120.0)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert ledger.tuning_runs == 1000
+        assert ledger.production_runs == 1000
+        assert ledger.tuning_seconds == pytest.approx(1000 * 60.0)
+        assert ledger.production_seconds == pytest.approx(1000 * 120.0)
+        assert len(ledger.history()) == 2000
+        one_tuning = ledger.tuning_cost / 1000
+        assert ledger.tuning_cost == pytest.approx(one_tuning * 1000)
+
+
+class TestEngineDispatch:
+    def test_concurrent_objectives_agree_and_counters_balance(self):
+        """Several shard threads driving one engine must get identical
+        answers for identical candidates, with every lookup accounted
+        as either a hit or a miss."""
+        simulator = SparkSimulator()
+        engine = EvaluationEngine(simulator=simulator, executor="serial")
+        cluster = Cluster.of("m5.xlarge", 4)
+        workload = Wordcount()
+        space = TuningService(seed=0).disc_space
+        rng = np.random.default_rng(0)
+        configs = [space.default_configuration()] + [
+            space.sample_configuration(rng) for _ in range(5)
+        ]
+
+        def worker(_):
+            objective = EngineObjective(
+                engine, workload, 5_000, cluster=cluster, seed=0,
+            )
+            return [objective(c) for c in configs]
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            outcomes = list(pool.map(worker, range(6)))
+        for other in outcomes[1:]:
+            assert other == outcomes[0]
+        stats = engine.stats
+        assert stats.lookups == 6 * len(configs)
+        assert stats.misses == len(configs)
+        assert stats.hits == stats.lookups - stats.misses
+
+
+class TestShardPoolUnderLoad:
+    def test_all_futures_resolve_and_state_stays_consistent(self):
+        log = HistoryLog(segment_records=32, compact_after=2)
+        ledgers = [CostLedger() for _ in range(3)]
+
+        def factory(i):
+            return TuningService(store=HistoryStore(log), ledger=ledgers[i],
+                                 executor="serial", seed=100 + i)
+
+        cluster = Cluster.of("m5.xlarge", 4)
+        with ShardPool(3, factory) as pool:
+            def job(service):
+                seed = service._next_seed()
+                service.ledger.charge_tuning(cluster, 30.0)
+                service.store.record(
+                    f"t{seed % 7}", "wc", 1_000.0, cluster.describe(),
+                    service.disc_space.default_configuration(),
+                    _Result(30.0, True), np.ones(4),
+                )
+                return seed
+
+            futures = [
+                pool.submit(i % 3, job, fingerprint=f"fp{i % 5}")
+                for i in range(120)
+            ]
+            seeds = [f.result(timeout=30) for f in futures]
+        assert len(seeds) == 120
+        assert sum(s.n_jobs for s in pool._shards) == 120
+        assert sum(ledger.tuning_runs for ledger in ledgers) == 120
+        snap = log.snapshot()
+        assert len(snap) == 120
+        assert len({r.record_id for r in snap}) == 120
+        assert pool.stats()["distinct_fingerprints"] == 5
+
+
+class _Result:
+    def __init__(self, runtime_s, success):
+        self.runtime_s = runtime_s
+        self.success = success

@@ -1,0 +1,304 @@
+"""Tests for the multi-tenant service layer (repro.core.serviced)."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.cloud.cluster import Cluster
+from repro.cloud.pricing import CostLedger
+from repro.core import HistoryStore, SLOMetric, TuningService, TuningSLO
+from repro.core.histlog import HistoryLog
+from repro.core.serviced import (
+    REJECT_BUDGET,
+    REJECT_QUEUE_FULL,
+    REJECT_TENANT_CAP,
+    AdmissionController,
+    RunBatchRequest,
+    ServiceFrontEnd,
+    ShardPool,
+    SLOPriorityScheduler,
+    TenantBudget,
+    TuneRequest,
+    shard_index,
+    workload_fingerprint,
+)
+from repro.core.serviced.loadgen import LoadScenario, run_load
+from repro.core.slo import evaluate_slo
+from repro.tuning.random_search import RandomSearchTuner
+from repro.workloads import PageRank, Wordcount
+
+
+class TestAdmission:
+    def test_queue_full_rejected_with_reason(self):
+        ctl = AdmissionController(max_pending=2, per_tenant_inflight=5)
+        assert ctl.try_admit("a")
+        assert ctl.try_admit("b")
+        decision = ctl.try_admit("c")
+        assert not decision and decision.reason == REJECT_QUEUE_FULL
+        ctl.release("a")
+        assert ctl.try_admit("c")
+
+    def test_per_tenant_cap(self):
+        ctl = AdmissionController(max_pending=100, per_tenant_inflight=2)
+        assert ctl.try_admit("a") and ctl.try_admit("a")
+        decision = ctl.try_admit("a")
+        assert not decision and decision.reason == REJECT_TENANT_CAP
+        assert ctl.try_admit("b")          # other tenants unaffected
+
+    def test_budget_rejection_and_stats(self):
+        ctl = AdmissionController()
+        decision = ctl.try_admit("a", budget_exhausted=True)
+        assert not decision and decision.reason == REJECT_BUDGET
+        ctl.try_admit("a")
+        stats = ctl.stats()
+        assert stats["n_admitted"] == 1
+        assert stats["n_rejected"] == {REJECT_BUDGET: 1}
+        assert stats["pending"] == 1
+
+    def test_unmatched_release_raises(self):
+        ctl = AdmissionController()
+        with pytest.raises(RuntimeError):
+            ctl.release("ghost")
+
+
+class TestTenantBudget:
+    def test_exhaustion_and_headroom(self):
+        budget = TenantBudget("t", max_tuning_cost=10.0)
+        assert budget.remaining_fraction == 1.0
+        budget.charge(7.5)
+        assert budget.remaining_fraction == pytest.approx(0.25)
+        assert not budget.exhausted
+        budget.charge(5.0)
+        assert budget.exhausted
+        assert budget.remaining_fraction == 0.0
+
+    def test_attainment_from_reports(self):
+        budget = TenantBudget(
+            "t", slo=TuningSLO(SLOMetric.WITHIN_OPTIMAL, 0.2),
+        )
+        assert budget.attainment == 1.0
+        budget.note_report(evaluate_slo(budget.slo, 130.0, 100.0))  # missed
+        budget.note_report(evaluate_slo(budget.slo, 110.0, 100.0))  # attained
+        assert budget.slo_missed == 1 and budget.slo_attained == 1
+        assert budget.attainment == pytest.approx(0.5)
+
+
+class TestScheduler:
+    def test_slo_deficit_jumps_the_queue(self):
+        sched = SLOPriorityScheduler()
+        happy = TenantBudget("happy")
+        unhappy = TenantBudget("unhappy")
+        unhappy.slo_missed = 3
+        sched.push("happy-job", shard=0, budget=happy)
+        sched.push("unhappy-job", shard=0, budget=unhappy)
+        shard, item = sched.pop_ready()
+        assert item == "unhappy-job"
+
+    def test_headroom_breaks_ties(self):
+        sched = SLOPriorityScheduler()
+        rich = TenantBudget("rich", max_tuning_cost=100.0)
+        poor = TenantBudget("poor", max_tuning_cost=100.0)
+        poor.charge(90.0)
+        sched.push("poor-job", shard=0, budget=poor)
+        sched.push("rich-job", shard=0, budget=rich)
+        assert sched.pop_ready()[1] == "rich-job"
+
+    def test_fifo_for_equal_priority(self):
+        sched = SLOPriorityScheduler()
+        sched.push("first", shard=0)
+        sched.push("second", shard=0)
+        assert sched.pop_ready()[1] == "first"
+        assert sched.pop_ready()[1] == "second"
+
+    def test_busy_shards_are_skipped_not_dropped(self):
+        sched = SLOPriorityScheduler()
+        urgent = TenantBudget("urgent")
+        urgent.slo_missed = 5
+        sched.push("pinned-urgent", shard=1, budget=urgent)
+        sched.push("elsewhere", shard=2)
+        # shard 1 busy: the urgent item stays queued, shard 2's item runs
+        assert sched.pop_ready(busy_shards={1}) == (2, "elsewhere")
+        # shard 1 frees up: the urgent item is still there, at priority
+        assert sched.pop_ready() == (1, "pinned-urgent")
+        assert sched.pop_ready() is None
+
+
+class TestFingerprints:
+    def test_submission_fingerprint_stable_and_name_sensitive(self):
+        wc, pr = Wordcount(), PageRank()
+        assert workload_fingerprint(wc, 1000) == workload_fingerprint(wc, 1000)
+        assert workload_fingerprint(wc, 1000) != workload_fingerprint(pr, 1000)
+        # same decade -> same shard placement; different decade -> different
+        assert workload_fingerprint(wc, 1000) == workload_fingerprint(wc, 5000)
+        assert workload_fingerprint(wc, 1000) != workload_fingerprint(wc, 100)
+
+    def test_signature_fingerprint_quantizes_noise(self):
+        sig = np.array([1.03, 2.04, 0.51])
+        noisy = sig + 0.004
+        far = sig + 10.0
+        wc = Wordcount()
+        assert (workload_fingerprint(wc, 1, signature=sig)
+                == workload_fingerprint(wc, 1, signature=noisy))
+        assert (workload_fingerprint(wc, 1, signature=sig)
+                != workload_fingerprint(wc, 1, signature=far))
+
+    def test_shard_index_in_range(self):
+        fp = workload_fingerprint(Wordcount(), 1000)
+        for n in (1, 2, 7):
+            assert 0 <= shard_index(fp, n) < n
+
+
+def _stack(n_shards=2, **admission_kw):
+    log = HistoryLog()
+    ledgers = [CostLedger() for _ in range(n_shards)]
+
+    def factory(i):
+        return TuningService(store=HistoryStore(log), ledger=ledgers[i],
+                             executor="serial", seed=50 + i)
+
+    pool = ShardPool(n_shards, factory)
+    frontend = ServiceFrontEnd(
+        pool, admission=AdmissionController(**admission_kw)
+        if admission_kw else None,
+    )
+    return frontend, pool, HistoryStore(log), ledgers
+
+
+def _tune_request(tenant="t1", workload=None, **kw):
+    return TuneRequest(
+        tenant=tenant, workload=workload or Wordcount(), input_mb=2_000,
+        cluster=Cluster.of("m5.xlarge", 4), disc_budget=3,
+        use_transfer=False, batch_size=3,
+        tuner_factory=lambda service, seed: RandomSearchTuner(
+            service.disc_space, seed=seed),
+        **kw,
+    )
+
+
+class TestFrontEnd:
+    def test_tune_and_ingest_end_to_end(self):
+        frontend, pool, store, ledgers = _stack()
+
+        async def scenario():
+            outcome = await frontend.submit(_tune_request())
+            assert outcome.accepted and outcome.kind == "tune"
+            assert outcome.deployment is not None
+            assert outcome.latency_s > 0
+            runs = await frontend.submit(RunBatchRequest(
+                tenant="t1", deployment=outcome.deployment,
+                input_mb=2_000, n_runs=7,
+            ))
+            assert runs.accepted and runs.runs_submitted == 7
+            await frontend.close()
+            return outcome
+
+        try:
+            outcome = asyncio.run(scenario())
+        finally:
+            pool.close()
+        # probe + 3 evaluations + 7 production runs, all in the shared log
+        assert len(store) == 4 + 7
+        assert sum(ledger.production_runs for ledger in ledgers) == 7
+        assert outcome.deployment.tuning_evaluations == 4
+
+    def test_same_fingerprint_tenants_share_a_shard_and_its_cache(self):
+        frontend, pool, store, _ = _stack(n_shards=2)
+
+        async def scenario():
+            a = await frontend.submit(_tune_request(tenant="a"))
+            b = await frontend.submit(_tune_request(tenant="b"))
+            await frontend.close()
+            return a, b
+
+        try:
+            a, b = asyncio.run(scenario())
+        finally:
+            pool.close()
+        assert a.shard == b.shard
+        # both tenants probed with the same canonical config on the same
+        # cluster: the second probe is a warm-cache answer on that shard
+        assert pool.service_of(a.shard).engine.stats.hits >= 1
+
+    def test_budget_exhaustion_rejects_next_submission(self):
+        frontend, pool, _, _ = _stack()
+        frontend.register_budget(
+            TenantBudget("t1", max_tuning_cost=1e-9)
+        )
+
+        async def scenario():
+            first = await frontend.submit(_tune_request())
+            second = await frontend.submit(_tune_request())
+            await frontend.close()
+            return first, second
+
+        try:
+            first, second = asyncio.run(scenario())
+        finally:
+            pool.close()
+        assert first.accepted                      # budget spent by this one
+        assert frontend.budget_of("t1").spent_cost > 0
+        assert not second.accepted
+        assert second.reason == REJECT_BUDGET
+
+    def test_tenant_inflight_cap_rejects_concurrent_burst(self):
+        frontend, pool, _, _ = _stack(per_tenant_inflight=1, max_pending=64)
+
+        async def scenario():
+            outcomes = await asyncio.gather(*[
+                frontend.submit(_tune_request()) for _ in range(3)
+            ])
+            await frontend.close()
+            return outcomes
+
+        try:
+            outcomes = asyncio.run(scenario())
+        finally:
+            pool.close()
+        accepted = [o for o in outcomes if o.accepted]
+        rejected = [o for o in outcomes if not o.accepted]
+        assert len(accepted) == 1
+        assert {o.reason for o in rejected} == {REJECT_TENANT_CAP}
+
+    def test_stats_snapshot_has_all_layers(self):
+        frontend, pool, _, _ = _stack()
+        try:
+            stats = frontend.stats()
+        finally:
+            pool.close()
+        assert set(stats) == {"admission", "scheduler", "shards"}
+        assert stats["shards"]["n_shards"] == 2
+
+
+class TestLoadGenerator:
+    def test_small_scenario_accounting(self):
+        scenario = LoadScenario(
+            n_tenants=8, n_workload_families=2, runs_per_tenant=5,
+            ingest_batches=1, n_shards=2, disc_budget=3,
+            max_pending=16, per_tenant_inflight=2, seed=4,
+        )
+        report = run_load(scenario)
+        assert report.tenants_deployed + report.tenants_denied == 8
+        assert report.tenants_deployed == 8       # retries absorb rejections
+        assert report.runs_submitted == 8 * 5
+        assert report.runs_per_s > 0
+        assert report.tune_latency_p99_s >= report.tune_latency_p50_s > 0
+        # every execution is in the shared history: (probe + budget) per
+        # tune session plus every production run
+        assert report.history_records == 8 * (1 + 3) + 8 * 5
+        assert report.production_cost_usd > 0
+        assert report.tuning_cost_usd > 0
+        metrics = report.to_metrics()
+        assert metrics["runs_submitted"] == 40.0
+        assert all(isinstance(v, float) for v in metrics.values())
+
+    def test_budget_cap_denies_spendy_tenants(self):
+        scenario = LoadScenario(
+            n_tenants=4, n_workload_families=1, runs_per_tenant=4,
+            ingest_batches=1, n_shards=1, disc_budget=3,
+            max_tuning_cost_usd=1e-9, seed=9,
+        )
+        report = run_load(scenario)
+        # tuning itself is admitted (budget spends on completion), but
+        # the follow-up ingest finds the budget gone
+        assert report.rejections.get(REJECT_BUDGET, 0) > 0
