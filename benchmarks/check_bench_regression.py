@@ -15,6 +15,15 @@ field, so one checker serves every ``BENCH_*.json`` in the repo:
   service SLIs: ``runs_per_s`` (higher is better; loose — the asyncio +
   shard-thread interleaving moves with the host) and
   ``tune_latency_p99_s`` (lower is better; may at most double).
+* **suggest path** (``BENCH_suggest.json``) gates the provider's two
+  hot read paths: ``suggests_per_s`` (incremental surrogate cycles at
+  200 observations; tight — pure single-thread numpy) and the indexed
+  ``lookups_per_s`` over the 1M-record history (loose — sub-millisecond
+  quantities move with timer resolution on shared runners).
+
+A scenario whose report entry carries a ``"skipped"`` marker — in the
+baseline **or** the fresh report — is host-gated (e.g. the two-worker
+pool scenario on a single-core runner) and is not compared.
 
 Usage::
 
@@ -62,6 +71,10 @@ GATED_BENCHMARKS: dict[str, dict[str, tuple[Gate, ...]]] = {
             Gate("tune_latency_p99_s", 1.00, higher_is_better=False),
         ),
     },
+    "suggest path": {
+        "suggest_throughput": (Gate("suggests_per_s", DEFAULT_TOLERANCE),),
+        "similarity_lookup_1M": (Gate("lookups_per_s", 0.60),),
+    },
 }
 
 
@@ -87,6 +100,11 @@ def check(baseline: dict, fresh: dict, max_regression: float) -> list[str]:
             continue
         if new is None:
             failures.append(f"{scenario}: missing from fresh report")
+            continue
+        if "skipped" in base or "skipped" in new:
+            # Host-gated scenario (e.g. needs >= 2 cores): either side
+            # recorded a skip marker instead of numbers, so there is
+            # nothing meaningful to compare.
             continue
         for gate in scenario_gates:
             allowed = gate.tolerance * scale
@@ -131,10 +149,14 @@ def main(argv=None) -> int:
     for scenario, scenario_gates in GATED_BENCHMARKS.get(
             fresh.get("benchmark"), {}).items():
         data = fresh.get("scenarios", {}).get(scenario)
-        if data:
-            for gate in scenario_gates:
-                print(f"{scenario}.{gate.metric:<32}"
-                      f"{float(data[gate.metric]):>12.2f}")
+        if not data:
+            continue
+        if "skipped" in data:
+            print(f"{scenario}: skipped ({data['skipped']})")
+            continue
+        for gate in scenario_gates:
+            print(f"{scenario}.{gate.metric:<32}"
+                  f"{float(data[gate.metric]):>12.2f}")
     if failures:
         print("\nbenchmark regression:", file=sys.stderr)
         for line in failures:

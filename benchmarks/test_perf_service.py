@@ -19,6 +19,11 @@ and are gated by ``check_bench_regression.py`` in the bench-smoke job:
   against a 256-slot admission queue this includes queueing time, which
   is the point: it is the latency a tenant actually experiences.
 
+The scenario block also records the pool-wide **per-phase wall-time
+breakdown** (suggest vs evaluate vs ingest vs similarity, merged across
+shards) so a regression in either SLI can be attributed to the phase
+that grew; the bench-smoke job uploads it as its own artifact.
+
 Run: ``PYTHONPATH=src python -m pytest benchmarks/test_perf_service.py -s``
 """
 
@@ -81,6 +86,12 @@ def test_perf_service_load():
     assert report.tuning_cost_usd > 0
     assert report.production_cost_usd > 0
 
+    # The pool-wide per-phase wall-time breakdown (suggest vs evaluate
+    # vs ingest vs similarity) must cover the phases this load exercises.
+    assert set(report.per_phase) >= {"suggest", "evaluate", "ingest"}
+    for phase in report.per_phase.values():
+        assert phase["seconds"] >= 0.0 and phase["calls"] >= 1
+
     out = {
         "benchmark": "multi-tenant service load",
         "machine": {"cpu_count": os.cpu_count(),
@@ -108,6 +119,7 @@ def test_perf_service_load():
                 "admission": report.stats["admission"],
                 "scheduler": report.stats["scheduler"],
                 "shards": report.stats["shards"],
+                "per_phase": report.per_phase,
             },
         },
     }
@@ -119,3 +131,6 @@ def test_perf_service_load():
           f"{report.wall_s:>8.1f}s{report.runs_per_s:>9.0f}"
           f"{report.tune_latency_p50_s:>7.1f}s"
           f"{report.tune_latency_p99_s:>7.1f}s")
+    print("per-phase: " + "  ".join(
+        f"{name} {p['seconds']:.1f}s/{p['calls']}"
+        for name, p in sorted(report.per_phase.items())))

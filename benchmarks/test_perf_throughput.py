@@ -39,9 +39,11 @@ trajectory is tracked across PRs:
   :class:`~repro.engine.executors.ParallelExecutor` with zero-copy
   shared-memory dispatch and a shared on-disk plan store — the
   saturation configuration.  Its counters record pool size and
-  per-worker chunk counts; the parallel > serial assertion is gated on
-  ``os.cpu_count() >= 2`` because a forked pool on one core measures
-  pure dispatch overhead, not parallelism.
+  per-worker chunk counts.  The whole scenario is gated on
+  ``os.cpu_count() >= 2``: a forked pool on one core measures pure
+  dispatch overhead, not parallelism, so a single-core host records a
+  ``{"skipped": ...}`` marker instead of a misleading number (and the
+  regression checker skips the scenario in either report direction).
 * ``engine_parallel_memoized``: the same 200-candidate batch
   re-evaluated through the warm cache, i.e. the paper's provider-side
   amortization (principle 3): a recurring or cross-tenant session whose
@@ -276,7 +278,11 @@ def test_perf_throughput():
         _scenario_engine_scalar(plan_cache_size=64)
     serial_result, serial_elapsed, serial_counters = _scenario_engine("serial")
     par_result, par_elapsed, par_counters = _scenario_engine("process")
-    shm_result, shm_elapsed, shm_counters = _scenario_engine_parallel_shm()
+    # A forked two-worker pool on one core measures dispatch overhead,
+    # not parallelism — skip the scenario and record why.
+    shm_supported = (os.cpu_count() or 1) >= 2
+    if shm_supported:
+        shm_result, shm_elapsed, shm_counters = _scenario_engine_parallel_shm()
     warm_result, warm_elapsed, warm_counters = _scenario_engine(
         "process", warm=True)
 
@@ -287,12 +293,13 @@ def test_perf_throughput():
     # so its costs are the same distribution but not bit-equal.
     assert [o.config for o in seed_result.history] == \
            [o.config for o in serial_result.history]
-    assert [o.cost for o in scalar_result.history] == \
-           [o.cost for o in plancache_result.history] == \
-           [o.cost for o in serial_result.history] == \
-           [o.cost for o in par_result.history] == \
-           [o.cost for o in shm_result.history] == \
-           [o.cost for o in warm_result.history]
+    engine_results = [scalar_result, plancache_result, serial_result,
+                      par_result, warm_result]
+    if shm_supported:
+        engine_results.append(shm_result)
+    costs = [o.cost for o in engine_results[0].history]
+    for result in engine_results[1:]:
+        assert [o.cost for o in result.history] == costs
     assert warm_counters["hits"] >= N_CANDIDATES  # the warm pass is all hits
 
     def eps(elapsed):
@@ -318,9 +325,13 @@ def test_perf_throughput():
         "engine_parallel": {"elapsed_s": par_elapsed,
                             "evals_per_s": eps(par_elapsed),
                             "counters": par_counters},
-        "engine_parallel_shm": {"elapsed_s": shm_elapsed,
-                                "evals_per_s": eps(shm_elapsed),
-                                "counters": shm_counters},
+        "engine_parallel_shm": (
+            {"elapsed_s": shm_elapsed, "evals_per_s": eps(shm_elapsed),
+             "counters": shm_counters}
+            if shm_supported
+            else {"skipped": "requires cpu_count >= 2",
+                  "cpu_count": os.cpu_count()}
+        ),
         "engine_parallel_memoized": {"elapsed_s": warm_elapsed,
                                      "evals_per_s": eps(warm_elapsed),
                                      "counters": warm_counters},
@@ -338,7 +349,7 @@ def test_perf_throughput():
         "scenarios": scenarios,
         "speedup_vs_seed": {
             name: s["evals_per_s"] / scenarios["seed_serial"]["evals_per_s"]
-            for name, s in scenarios.items()
+            for name, s in scenarios.items() if "evals_per_s" in s
         },
         "batch_speedup_vs_scalar": batch_speedup,
         "fastpath_speedup_vs_scalar": fastpath_speedup,
@@ -350,6 +361,9 @@ def test_perf_throughput():
 
     print(f"\n{'scenario':<28}{'elapsed':>10}{'evals/s':>10}{'speedup':>9}")
     for name, s in scenarios.items():
+        if "skipped" in s:
+            print(f"{name:<28}  skipped ({s['skipped']})")
+            continue
         print(f"{name:<28}{s['elapsed_s']:>9.2f}s{s['evals_per_s']:>10.1f}"
               f"{report['speedup_vs_seed'][name]:>8.1f}x")
 
@@ -366,14 +380,13 @@ def test_perf_throughput():
     assert joint_speedup >= 3.0, (
         f"joint run_batch only {joint_speedup:.1f}x the cold run() loop"
     )
-    # The shm executor ran a real two-worker pool and its utilization
-    # telemetry must account for the dispatched chunks.
-    workers = shm_counters["workers"]
-    assert workers["pool_size"] == 2
-    assert workers["workers_used"] >= 1
-    # Parallel dispatch only wins with real cores behind the pool; on a
-    # single-core host the honest expectation is overhead, not speedup.
-    if (os.cpu_count() or 1) >= 2:
+    # On a multi-core host the shm scenario ran: its two-worker pool
+    # telemetry must account for the dispatched chunks, and parallel
+    # dispatch must actually beat the serial loop.
+    if shm_supported:
+        workers = shm_counters["workers"]
+        assert workers["pool_size"] == 2
+        assert workers["workers_used"] >= 1
         assert eps(shm_elapsed) > eps(serial_elapsed), (
             f"shm pool ({eps(shm_elapsed):.0f} evals/s) not faster than "
             f"serial ({eps(serial_elapsed):.0f}) despite "

@@ -6,6 +6,7 @@ from .elasticity import ElasticScaler, ScalerObservation
 from .history import ExecutionRecord, HistoryStore
 from .histlog import HistoryLog
 from .persistence import load_history, save_history
+from .profiling import PhaseProfiler
 from .retuning import (
     CusumDetector,
     DriftDetector,
@@ -15,7 +16,14 @@ from .retuning import (
 )
 from .service import Deployment, ProductionRun, TuningService
 from .session import SessionConfig, TuningSession
-from .similarity import KMedoids, SimilarWorkload, find_similar_workloads, signature_distance
+from .simindex import SignatureIndex, signature_index
+from .similarity import (
+    KMedoids,
+    SimilarWorkload,
+    find_similar_workloads,
+    find_similar_workloads_scan,
+    signature_distance,
+)
 from .slo import SLOMetric, SLOReport, TuningSLO, evaluate_slo
 from .transfer import TransferPlan, build_transfer_plan
 
@@ -33,7 +41,11 @@ __all__ = [
     "KMedoids",
     "SimilarWorkload",
     "find_similar_workloads",
+    "find_similar_workloads_scan",
     "signature_distance",
+    "SignatureIndex",
+    "signature_index",
+    "PhaseProfiler",
     "TransferPlan",
     "build_transfer_plan",
     "DriftDetector",

@@ -209,6 +209,40 @@ class HistoryLog:
     def __len__(self) -> int:
         return self._count
 
+    @property
+    def version(self) -> int:
+        """Monotonic change counter; bumps on every append/seal/compaction.
+
+        Derived caches (the snapshot cache here, the signature index in
+        :mod:`repro.core.simindex`) key their freshness on this — a
+        single int read, safe without the lock.
+        """
+        return self._version
+
+    def tail(self, start: int) -> tuple[ExecutionRecord, ...]:
+        """Records from append-order position ``start`` on.
+
+        Unlike :meth:`snapshot` this never concatenates the whole log —
+        it walks only the segments past ``start`` — so an incremental
+        consumer (the signature index) pays O(new records), not O(log).
+        Append order is stable across sealing *and* compaction (both
+        merge in order), so a consumer that has processed ``start``
+        records never sees reordered or duplicated history.
+        """
+        if start <= 0:
+            return self.snapshot()
+        with self._lock:
+            if start >= self._count:
+                return ()
+            out: list[ExecutionRecord] = []
+            pos = 0
+            for segment in (self._base, *self._sealed, self._active):
+                end = pos + len(segment)
+                if end > start:
+                    out.extend(segment[max(0, start - pos):])
+                pos = end
+            return tuple(out)
+
     def __iter__(self) -> Iterator[ExecutionRecord]:
         return iter(self.snapshot())
 

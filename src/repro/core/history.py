@@ -24,6 +24,7 @@ import numpy as np
 from ..config.space import Configuration
 from ..sparksim.metrics import ExecutionResult
 from .histlog import ExecutionRecord, HistoryLog
+from .simindex import SignatureIndex, signature_index
 
 __all__ = ["ExecutionRecord", "HistoryStore"]
 
@@ -38,6 +39,14 @@ class HistoryStore:
     def log(self) -> HistoryLog:
         """The backing append-only log (shared across service shards)."""
         return self._log
+
+    def index(self) -> SignatureIndex:
+        """The log's shared signature index (one per log, lazily built).
+
+        Per-workload aggregate queries below route through it; every
+        store view over the same log shares the same index instance.
+        """
+        return signature_index(self._log)
 
     def __len__(self) -> int:
         return len(self._log)
@@ -75,30 +84,31 @@ class HistoryStore:
         return sorted({r.tenant for r in self._log.snapshot()})
 
     def workload_keys(self) -> list[tuple[str, str]]:
-        return sorted({r.key for r in self._log.snapshot()})
+        """Every (tenant, label) recorded, sorted — from the index's
+        cached key order (invalidated by log version), not a fresh
+        materialize-and-sort of the full snapshot per call."""
+        return self.index().workload_keys()
 
     def successful(self) -> list[ExecutionRecord]:
         return [r for r in self._log.snapshot() if r.success]
 
     def best_for(self, tenant: str, workload_label: str) -> ExecutionRecord | None:
-        runs = [r for r in self.for_workload(tenant, workload_label) if r.success]
-        if not runs:
-            return None
-        return min(runs, key=lambda r: r.runtime_s)
+        return self.index().best_for(tenant, workload_label)
 
     def mean_signature(self, tenant: str, workload_label: str) -> np.ndarray | None:
         """Averaged characterization across a workload's executions."""
-        runs = [r for r in self.for_workload(tenant, workload_label) if r.success]
-        if not runs:
-            return None
-        return np.mean([r.signature for r in runs], axis=0)
+        return self.index().mean_signature(tenant, workload_label)
 
     def best_runtime_overall(self, workload_label_filter=None) -> float | None:
-        """Best runtime of any similar-labelled workload (SLO reference)."""
-        runs = [
-            r for r in self.successful()
-            if workload_label_filter is None or workload_label_filter(r)
-        ]
+        """Best runtime of any similar-labelled workload (SLO reference).
+
+        The unfiltered form is O(1) off the index's running global best;
+        an arbitrary record predicate cannot be pre-aggregated, so the
+        filtered form still scans.
+        """
+        if workload_label_filter is None:
+            return self.index().best_runtime_overall()
+        runs = [r for r in self.successful() if workload_label_filter(r)]
         if not runs:
             return None
         return min(r.runtime_s for r in runs)

@@ -1,0 +1,79 @@
+"""Per-phase wall-time profiling for the tuning service hot path.
+
+PR 7's service bench reports end-to-end runs/s and p99 latency, but
+neither says *where* a deployment's time goes — suggest (surrogate
+refit + acquisition), evaluate (simulator executions), ingest
+(production-run recording), or similarity (transfer lookup + SLO
+reference).  :class:`PhaseProfiler` accumulates wall time and call
+counts per named phase so the service surfaces that split in
+``counters()`` and ``BENCH_service.json`` — the observability that
+justified the suggest-path work and guards it against regressing.
+
+Timing uses ``time.perf_counter`` (monotonic, telemetry-grade — the
+wall-clock functions are banned from the deterministic scopes by
+staticcheck RS002, perf_counter explicitly is not).  Accumulation is a
+single lock-guarded float add, cheap enough to leave on in production;
+profilers are thread-safe because shard workers record concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["PhaseProfiler"]
+
+#: canonical phase names the service stack records
+PHASES = ("suggest", "evaluate", "ingest", "similarity")
+
+
+class PhaseProfiler:
+    """Thread-safe accumulator of per-phase wall time and call counts."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seconds: dict[str, float] = {}
+        self._calls: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one block under ``name`` (exceptions still charged)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        with self._lock:
+            self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+            self._calls[name] = self._calls.get(name, 0) + calls
+
+    def merge(self, other: "PhaseProfiler") -> None:
+        """Fold another profiler's totals into this one (aggregation)."""
+        for name, seconds, calls in other.rows():
+            self.add(name, seconds, calls)
+
+    def rows(self) -> list[tuple[str, float, int]]:
+        with self._lock:
+            return [
+                (name, self._seconds[name], self._calls[name])
+                for name in sorted(self._seconds)
+            ]
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """``{phase: {"seconds": total, "calls": n, "mean_ms": per-call}}``."""
+        out: dict[str, dict[str, float]] = {}
+        for name, seconds, calls in self.rows():
+            out[name] = {
+                "seconds": seconds,
+                "calls": calls,
+                "mean_ms": 1e3 * seconds / calls if calls else 0.0,
+            }
+        return out
+
+    def total_seconds(self) -> float:
+        with self._lock:
+            return sum(self._seconds.values())

@@ -33,6 +33,7 @@ from ..tuning.base import Tuner, TuningResult, run_tuner_batched
 from ..tuning.bo.bayesopt import BayesOptTuner
 from .characterization import probe_configuration, signature
 from .history import HistoryStore
+from .profiling import PhaseProfiler
 from .retuning import DriftDetector, PageHinkleyDetector
 from .session import SessionConfig, TuningSession
 from .slo import SLOMetric, SLOReport, TuningSLO, evaluate_slo
@@ -124,6 +125,11 @@ class TuningService:
             simulator=self.simulator, executor=executor,
             max_workers=max_workers,
         )
+        #: per-phase wall-time split of this service's hot path —
+        #: suggest (surrogate + acquisition), evaluate (simulator),
+        #: ingest (production recording), similarity (transfer + SLO
+        #: reference).  Thread-safe; shard workers record concurrently.
+        self.profiler = PhaseProfiler()
 
     def _next_seed(self) -> int:
         with self._seed_lock:
@@ -133,6 +139,14 @@ class TuningService:
     def engine_counters(self) -> dict[str, float]:
         """Hit/miss/latency counters of the shared evaluation engine."""
         return self.engine.counters()
+
+    def counters(self) -> dict:
+        """One telemetry snapshot: engine, per-phase time, index state."""
+        return {
+            "engine": self.engine.counters(),
+            "phases": self.profiler.snapshot(),
+            "signature_index": self.store.index().counters(),
+        }
 
     # --- stage 1: cloud configuration ------------------------------------
     def tune_cloud(self, workload, input_mb: float, budget: int = 12,
@@ -157,8 +171,11 @@ class TuningService:
         tuner = BayesOptTuner(self.cloud_space, seed=seed, n_init=n_init)
         evaluations = 0
         for i in range(budget):
-            config = tuner.suggest()
-            tuner.observe(config, objective(config))
+            with self.profiler.phase("suggest"):
+                config = tuner.suggest()
+            with self.profiler.phase("evaluate"):
+                cost = objective(config)
+            tuner.observe(config, cost)
             evaluations += 1
             # Consult the EI stop rule as soon as the initial design is
             # observed — n_init is the tuner's actual design size, not a
@@ -199,7 +216,8 @@ class TuningService:
             repair=True,
         )
         # Probe to characterize, then look for transferable knowledge.
-        probe_cost = objective(probe_configuration())
+        with self.profiler.phase("evaluate"):
+            probe_cost = objective(probe_configuration())
         probe_result = objective.last_result
         sig = signature(probe_result)
         # Record the probe exactly as it launched (fully resolved and
@@ -213,11 +231,12 @@ class TuningService:
         )
         warm_start, sources = [], []
         if use_transfer:
-            plan = build_transfer_plan(
-                self.store, sig, self.disc_space,
-                exclude=(tenant, workload_label),
-                target_scale_runtime=probe_cost,
-            )
+            with self.profiler.phase("similarity"):
+                plan = build_transfer_plan(
+                    self.store, sig, self.disc_space,
+                    exclude=(tenant, workload_label),
+                    target_scale_runtime=probe_cost,
+                )
             warm_start = plan.observations
             sources = [f"{s.tenant}/{s.workload_label}" for s in plan.sources]
         if tuner is None:
@@ -232,6 +251,7 @@ class TuningService:
             tenant=tenant, workload_label=workload_label, workload=workload,
             input_mb=input_mb, cluster=cluster, tuner=tuner,
             objective=objective, store=self.store,
+            profiler=self.profiler,
         )
         # The probe is a paid measurement: feed it to the tuner and the
         # campaign history (as it actually launched, post-repair), so the
@@ -339,15 +359,19 @@ class TuningService:
         and uncounted).  The history-based metrics are free lookups.
         """
         if slo.metric is SLOMetric.IMPROVEMENT_OVER_DEFAULT:
-            return session.objective(self.disc_space.default_configuration()), 1
+            with self.profiler.phase("evaluate"):
+                cost = session.objective(self.disc_space.default_configuration())
+            return cost, 1
         if slo.metric is SLOMetric.WITHIN_BEST_SIMILAR:
-            runs = [
-                r for r in self.store.successful()
-                if r.key != (tenant, label)
-            ]
-            return min((r.runtime_s for r in runs), default=None), 0
+            # Masked min over the index's per-key best runtimes — this
+            # used to scan every successful record per deployment.
+            with self.profiler.phase("similarity"):
+                return self.store.index().best_runtime_excluding(
+                    (tenant, label)
+                ), 0
         # WITHIN_OPTIMAL: best the service has ever seen for this workload.
-        best = self.store.best_for(tenant, label)
+        with self.profiler.phase("similarity"):
+            best = self.store.best_for(tenant, label)
         return (best.runtime_s if best else None), 0
 
     # --- principle 2: production monitoring + auto re-tuning ----------------

@@ -119,23 +119,24 @@ def ingest_production_runs(service: TuningService, deployment: Deployment,
         raise ValueError("n_runs must be >= 1")
     from ..characterization import signature as characterize
 
-    base_seed = service._next_seed() if seed is None else seed
-    envs = None
-    if service.interference is not None:
-        envs = [service.interference.step() for _ in range(n_runs)]
-    results = service.simulator.run_batch(
-        deployment.workload, input_mb, deployment.cluster,
-        [deployment.config] * n_runs,
-        envs=envs if envs is not None else [QUIET] * n_runs,
-        seeds=[base_seed + i for i in range(n_runs)],
-    )
-    for result in results:
-        service.ledger.charge_production(deployment.cluster, result.runtime_s)
-        service.store.record(
-            deployment.tenant, deployment.workload_label, input_mb,
-            deployment.cluster.describe(), deployment.config, result,
-            characterize(result),
+    with service.profiler.phase("ingest"):
+        base_seed = service._next_seed() if seed is None else seed
+        envs = None
+        if service.interference is not None:
+            envs = [service.interference.step() for _ in range(n_runs)]
+        results = service.simulator.run_batch(
+            deployment.workload, input_mb, deployment.cluster,
+            [deployment.config] * n_runs,
+            envs=envs if envs is not None else [QUIET] * n_runs,
+            seeds=[base_seed + i for i in range(n_runs)],
         )
+        for result in results:
+            service.ledger.charge_production(deployment.cluster, result.runtime_s)
+            service.store.record(
+                deployment.tenant, deployment.workload_label, input_mb,
+                deployment.cluster.describe(), deployment.config, result,
+                characterize(result),
+            )
     return len(results)
 
 

@@ -99,6 +99,9 @@ class LoadReport:
     production_cost_usd: float = 0.0
     history_records: int = 0
     stats: dict = field(default_factory=dict)
+    #: pool-wide per-phase wall-time split (suggest/evaluate/ingest/
+    #: similarity), merged across every shard's service profiler
+    per_phase: dict = field(default_factory=dict)
 
     def to_metrics(self) -> dict:
         """Flat numeric dict for ``BENCH_service.json``."""
@@ -272,4 +275,5 @@ def run_load(scenario: LoadScenario = LoadScenario()) -> LoadReport:
         production_cost_usd=sum(ledger.production_cost for ledger in ledgers),
         history_records=len(store),
         stats=frontend.stats(),
+        per_phase=pool.phase_totals(),
     )

@@ -148,7 +148,21 @@ class ShardPool:
             "engine_hits_by_shard": [
                 s.service.engine.stats.hits for s in self._shards
             ],
+            # Where each shard's wall time went: suggest vs evaluate vs
+            # ingest vs similarity (see repro.core.profiling).
+            "phases_by_shard": [
+                s.service.profiler.snapshot() for s in self._shards
+            ],
         }
+
+    def phase_totals(self) -> dict[str, dict[str, float]]:
+        """Pool-wide per-phase totals, merged across every shard."""
+        from ..profiling import PhaseProfiler
+
+        total = PhaseProfiler()
+        for shard in self._shards:
+            total.merge(shard.service.profiler)
+        return total.snapshot()
 
     def close(self) -> None:
         """Stop every shard after its queue drains."""

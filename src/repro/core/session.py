@@ -9,6 +9,7 @@ of the paper's vision.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,6 +27,7 @@ from ..tuning.base import (
 from ..tuning.bo.bayesopt import BayesOptTuner
 from .characterization import probe_configuration, signature
 from .history import HistoryStore
+from .profiling import PhaseProfiler
 
 __all__ = ["SessionConfig", "TuningSession"]
 
@@ -53,7 +55,14 @@ class TuningSession:
     objective: SimulationObjective
     store: HistoryStore | None = None
     ledger: CostLedger | None = None
+    #: optional per-phase wall-time accumulator (the owning service's)
+    profiler: PhaseProfiler | None = None
     result: TuningResult = field(default_factory=TuningResult)
+
+    def _phase(self, name: str):
+        if self.profiler is None:
+            return nullcontext()
+        return self.profiler.phase(name)
 
     def _record(self, config: Configuration, exec_result: ExecutionResult) -> None:
         if self.store is None:
@@ -76,7 +85,8 @@ class TuningSession:
         deployed configuration should never be worse than it.
         """
         probe = probe_configuration()
-        cost = self.objective(probe)
+        with self._phase("evaluate"):
+            cost = self.objective(probe)
         exec_result = self.objective.last_result
         # Record — and observe — the probe as it actually launched
         # (resolved and, if the objective repairs, repaired): a history
@@ -131,12 +141,16 @@ class TuningSession:
         evals = 0
         while evals < cfg.budget:
             k = min(batch_size, cfg.budget - evals)
-            suggestions = (
-                self.tuner.suggest_batch(k) if k > 1 else [self.tuner.suggest()]
-            )
+            with self._phase("suggest"):
+                suggestions = (
+                    self.tuner.suggest_batch(k) if k > 1
+                    else [self.tuner.suggest()]
+                )
             suggestions = suggestions[: cfg.budget - evals]
+            with self._phase("evaluate"):
+                outcomes = self._evaluate_batch(suggestions)
             for suggestion, (cost, succeeded, exec_result) in zip(
-                suggestions, self._evaluate_batch(suggestions)
+                suggestions, outcomes
             ):
                 obs = self.tuner.observe(suggestion, cost, succeeded=succeeded)
                 self.result.history.append(obs)

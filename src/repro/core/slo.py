@@ -83,12 +83,18 @@ def evaluate_slo(slo: TuningSLO, achieved_runtime_s: float,
     """
     if achieved_runtime_s <= 0 or reference_runtime_s <= 0:
         raise ValueError("runtimes must be positive")
+    # Attainment carries a 1e-9 relative slack: a runtime sitting exactly
+    # on the target boundary must not flip on the last ulp of the
+    # achieved/reference division.
     if slo.metric is SLOMetric.IMPROVEMENT_OVER_DEFAULT:
         value = (reference_runtime_s - achieved_runtime_s) / reference_runtime_s
-        attained = value >= slo.target_fraction
+        attained = value >= slo.target_fraction - 1e-9
     else:
         value = achieved_runtime_s / reference_runtime_s - 1.0
-        attained = value <= slo.target_fraction
+        attained = achieved_runtime_s <= (
+            reference_runtime_s * (1.0 + slo.target_fraction)
+            + 1e-9 * reference_runtime_s
+        )
     return SLOReport(
         slo=slo,
         achieved_runtime_s=achieved_runtime_s,

@@ -7,6 +7,15 @@ than search-based approaches.  This tuner implements the same loop over
 any :class:`~repro.config.space.ConfigurationSpace` (cloud, DISC, or
 joint), with costs modelled in log space (runtimes are positive and
 heavy-tailed).
+
+Surrogate state is **incremental**: every observation is encoded once,
+on arrival, into an append-only design matrix (grown by capacity
+doubling), the log-cost transform is applied per point, and the model
+incumbent (the EI baseline) is tracked as a running minimum.  A
+``suggest()`` call therefore never re-encodes the history — the
+rebuild-from-scratch path (``incremental=False``) is kept as the
+reference implementation the identity suite and the
+``suggest_throughput`` bench compare against.
 """
 
 from __future__ import annotations
@@ -14,7 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...config.space import Configuration, ConfigurationSpace
-from ..base import Tuner
+from ..base import Observation, Tuner
 from .acquisition import expected_improvement, lower_confidence_bound
 from .gp import GaussianProcess
 from .kernels import Kernel, Matern52
@@ -42,6 +51,11 @@ class BayesOptTuner(Tuner):
         Optional list of ``(config, cost)`` pairs injected into the model
         before any suggestion — the transfer-learning hook used by the
         provider-side service (paper challenge V.B).
+    incremental:
+        Keep the encoded design matrix and transformed costs in
+        append-only buffers maintained at ``observe()`` time (default).
+        ``False`` restores the per-``suggest`` rebuild — bit-identical
+        by the identity suite, kept as reference and bench baseline.
     """
 
     def __init__(self, space: ConfigurationSpace, seed: int = 0,
@@ -49,7 +63,8 @@ class BayesOptTuner(Tuner):
                  kernel: Kernel | None = None,
                  n_candidates: int = 512, log_costs: bool = True,
                  refit_every: int = 4,
-                 warm_start: list[tuple[Configuration, float]] | None = None):
+                 warm_start: list[tuple[Configuration, float]] | None = None,
+                 incremental: bool = True):
         super().__init__(space, seed)
         if acquisition not in ("ei", "lcb"):
             raise ValueError("acquisition must be 'ei' or 'lcb'")
@@ -60,15 +75,69 @@ class BayesOptTuner(Tuner):
         self.n_candidates = n_candidates
         self.log_costs = log_costs
         self.refit_every = max(1, refit_every)
+        self.incremental = incremental
         self._init_points = space.latin_hypercube(n_init, self.rng)
         self._gp = GaussianProcess(kernel=kernel or Matern52(), seed=seed)
         self._fitted_at = 0
         self._gp_rows = 0               # observations currently inside the GP
         self._warm: list[tuple[Configuration, float]] = list(warm_start or [])
         self.last_max_ei: float | None = None
+        # --- incremental surrogate state ----------------------------------
+        # Append-only encoded design matrix + transformed costs, grown by
+        # capacity doubling; the running minimum of the transformed costs
+        # is EI's incumbent, and the best raw observation backs ``best``.
+        self._n_pairs = 0
+        self._X_buf = np.zeros((0, space.dimension))
+        self._y_buf = np.zeros(0)
+        self._y_model_min = np.inf
+        self._best_obs: Observation | None = None
+        for config, cost in self._warm:
+            self._append_pair(config, cost)
 
     # --- data assembly -----------------------------------------------------
+    def _transform_cost(self, cost: float) -> float:
+        return float(np.log(np.maximum(cost, 1e-9))) if self.log_costs \
+            else float(cost)
+
+    def _append_pair(self, config: Configuration, cost: float) -> None:
+        """Encode one (config, cost) pair into the append-only buffers."""
+        n = self._n_pairs
+        if n >= len(self._X_buf):
+            cap = max(16, 2 * len(self._X_buf))
+            X_buf = np.zeros((cap, self.space.dimension))
+            y_buf = np.zeros(cap)
+            X_buf[:n] = self._X_buf[:n]
+            y_buf[:n] = self._y_buf[:n]
+            self._X_buf, self._y_buf = X_buf, y_buf
+        self._X_buf[n] = self.space.encode(config)
+        y = self._transform_cost(cost)
+        self._y_buf[n] = y
+        self._n_pairs = n + 1
+        if y < self._y_model_min:
+            self._y_model_min = y
+
+    def observe(self, config: Configuration, cost: float,
+                succeeded: bool = True) -> Observation:
+        obs = super().observe(config, cost, succeeded=succeeded)
+        self._append_pair(obs.config, obs.cost)
+        # min() keeps the first of equal costs, so only a strictly
+        # better observation replaces the incumbent.
+        if self._best_obs is None or obs.cost < self._best_obs.cost:
+            self._best_obs = obs
+        return obs
+
+    @property
+    def best(self) -> Observation | None:
+        if self.incremental:
+            return self._best_obs
+        return super().best
+
     def _training_data(self):
+        """Rebuild the design matrix from scratch (reference path).
+
+        The incremental buffers must stay bit-identical to this — the
+        hypothesis identity suite drives both and compares.
+        """
         pairs = self._warm + [(o.config, o.cost) for o in self.history]
         X = np.array([self.space.encode(c) for c, _ in pairs])
         y = np.array([cost for _, cost in pairs], dtype=float)
@@ -76,8 +145,13 @@ class BayesOptTuner(Tuner):
             y = np.log(np.maximum(y, 1e-9))
         return X, y
 
+    def _model_data(self):
+        if self.incremental:
+            return self._X_buf[:self._n_pairs], self._y_buf[:self._n_pairs]
+        return self._training_data()
+
     def _refit(self) -> None:
-        X, y = self._training_data()
+        X, y = self._model_data()
         n = len(y)
         optimize = (n - self._fitted_at) >= self.refit_every or self._fitted_at == 0
         if optimize or self._gp_rows == 0 or self._gp_rows > n:
@@ -102,6 +176,17 @@ class BayesOptTuner(Tuner):
             cands.append(np.clip(local, 0.0, 1.0))
         return np.vstack(cands)
 
+    def _incumbent_y(self) -> float:
+        """EI's baseline: the minimum of the model-space costs.
+
+        Tracked incrementally; the rebuild path recomputes it from the
+        full design so both modes answer bit-identically.
+        """
+        if self.incremental:
+            return float(self._y_model_min)
+        _, y = self._training_data()
+        return float(y.min())
+
     # --- Tuner interface -----------------------------------------------------
     def suggest(self) -> Configuration:
         n_observed = len(self.history) + len(self._warm)
@@ -113,8 +198,7 @@ class BayesOptTuner(Tuner):
         X = self._candidates()
         mean, std = self._gp.predict(X)
         if self.acquisition == "ei":
-            _, y = self._training_data()
-            score = expected_improvement(mean, std, best=float(y.min()))
+            score = expected_improvement(mean, std, best=self._incumbent_y())
             self.last_max_ei = float(score.max())
             idx = int(np.argmax(score))
         else:

@@ -1,0 +1,96 @@
+"""Per-phase profiling: the accumulator and its service-stack wiring."""
+
+import threading
+
+from repro.cloud.cluster import Cluster
+from repro.core import PhaseProfiler, TuningService
+from repro.core.serviced.frontend import ingest_production_runs
+from repro.core.serviced.loadgen import LoadScenario, run_load
+from repro.workloads import get_workload
+
+
+class TestPhaseProfiler:
+    def test_accumulates_time_and_calls(self):
+        p = PhaseProfiler()
+        for _ in range(3):
+            with p.phase("suggest"):
+                pass
+        snap = p.snapshot()
+        assert snap["suggest"]["calls"] == 3
+        assert snap["suggest"]["seconds"] >= 0.0
+        assert p.total_seconds() >= 0.0
+
+    def test_exceptions_still_charged(self):
+        p = PhaseProfiler()
+        try:
+            with p.phase("evaluate"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert p.snapshot()["evaluate"]["calls"] == 1
+
+    def test_merge_folds_totals(self):
+        a, b = PhaseProfiler(), PhaseProfiler()
+        a.add("suggest", 1.0, calls=2)
+        b.add("suggest", 0.5, calls=1)
+        b.add("ingest", 2.0, calls=4)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["suggest"]["seconds"] == 1.5
+        assert snap["suggest"]["calls"] == 3
+        assert snap["ingest"]["calls"] == 4
+
+    def test_thread_safety_no_lost_updates(self):
+        p = PhaseProfiler()
+
+        def work():
+            for _ in range(200):
+                p.add("evaluate", 0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert p.snapshot()["evaluate"]["calls"] == 800
+
+
+class TestServiceWiring:
+    def test_submit_records_suggest_evaluate_similarity(self):
+        service = TuningService(seed=0)
+        cluster = Cluster.of("m5.xlarge", 4)
+        service.submit(
+            "tenant-a", get_workload("wordcount"), 500.0,
+            cluster=cluster, disc_budget=4, use_transfer=True,
+        )
+        phases = service.counters()["phases"]
+        assert phases["suggest"]["calls"] >= 1
+        assert phases["evaluate"]["calls"] >= 1
+        assert phases["similarity"]["calls"] >= 1
+        counters = service.counters()
+        assert "engine" in counters and "signature_index" in counters
+
+    def test_ingest_phase_recorded(self):
+        service = TuningService(seed=0)
+        cluster = Cluster.of("m5.xlarge", 4)
+        deployment = service.submit(
+            "tenant-a", get_workload("wordcount"), 500.0,
+            cluster=cluster, disc_budget=3, use_transfer=False,
+        )
+        n = ingest_production_runs(service, deployment, 500.0, 5)
+        assert n == 5
+        phases = service.counters()["phases"]
+        assert phases["ingest"]["calls"] == 1
+        assert phases["ingest"]["seconds"] > 0.0
+
+    def test_load_report_carries_pool_wide_per_phase(self):
+        report = run_load(LoadScenario(
+            n_tenants=4, n_workload_families=2, runs_per_tenant=4,
+            ingest_batches=1, n_shards=2, disc_budget=2, batch_size=2,
+        ))
+        assert report.tenants_deployed == 4
+        assert set(report.per_phase) >= {"suggest", "evaluate", "ingest"}
+        for phase in report.per_phase.values():
+            assert phase["seconds"] >= 0.0 and phase["calls"] >= 1
+        shards = report.stats["shards"]
+        assert len(shards["phases_by_shard"]) == 2
