@@ -264,8 +264,8 @@ class SignatureIndex:
         ``argpartition``; only the k winners are sorted.
         """
         self.sync()
-        self.n_lookups += 1
         with self._lock:
+            self.n_lookups += 1
             self._refresh_means_locked()
             keys, rows = self._sorted_order_locked()
             if not keys or self._dim is None:

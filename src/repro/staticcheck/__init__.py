@@ -23,6 +23,17 @@ Two halves:
   purity closure, process-pool race freedom, exception-flow auditing,
   and scalar/batch leaf-set agreement — each finding carries its call
   chain.  Enable with ``--flow``.
+* **Concurrency rules** (``RC001``-``RC005``,
+  :mod:`repro.staticcheck.concurrency`) infer the repo's lock set and
+  enforce the service layer's threading discipline: lock-guard
+  consistency, ``_*_locked`` reachability, async-loop blocking calls,
+  shared-memory segment lifecycle, and lock-order acyclicity.  Enable
+  with ``--concurrency``; the runtime twin is
+  :mod:`repro.staticcheck.dynsan`.
+
+Every family's metadata lives in one declarative table
+(:mod:`repro.staticcheck.registry`), which serves ``--list-rules`` and
+``--rules`` id partitioning.
 
 Runs are incremental (:mod:`repro.staticcheck.incremental`): unchanged
 files replay their cached findings, keyed on content hashes.
@@ -32,12 +43,28 @@ suppress individual lines with ``# staticcheck: ignore[RS004]`` plus a
 justifying comment.
 """
 
+from .concurrency import (
+    ALL_CONCURRENCY_RULES,
+    ConcurrencyReport,
+    LockModel,
+    build_lock_model,
+    concurrency_rule_catalogue,
+    get_concurrency_rules,
+    lint_concurrency,
+    run_concurrency_rules,
+)
 from .domain import (
     RESOURCE_PACKING,
     ConstraintSpec,
     validate_default_domain,
     validate_space,
     validate_workloads,
+)
+from .dynsan import (
+    LockOrderSanitizer,
+    LockOrderViolation,
+    SanitizedLock,
+    instrument_attr,
 )
 from .flow import (
     ALL_FLOW_RULES,
@@ -50,10 +77,26 @@ from .flow import (
 from .graph import CallGraph, build_call_graph
 from .incremental import CACHE_FILE, CheckOutcome, incremental_check
 from .model import Finding, LintResult, Severity
+from .registry import RuleEntry, partition_rule_ids, rule_registry
 from .rules import ALL_RULES, get_rules, rule_catalogue
 from .runner import iter_python_files, lint_paths, lint_source
 
 __all__ = [
+    "ALL_CONCURRENCY_RULES",
+    "ConcurrencyReport",
+    "LockModel",
+    "build_lock_model",
+    "concurrency_rule_catalogue",
+    "get_concurrency_rules",
+    "lint_concurrency",
+    "run_concurrency_rules",
+    "LockOrderSanitizer",
+    "LockOrderViolation",
+    "SanitizedLock",
+    "instrument_attr",
+    "RuleEntry",
+    "partition_rule_ids",
+    "rule_registry",
     "Finding",
     "LintResult",
     "Severity",

@@ -4,17 +4,24 @@ Usage::
 
     python -m repro.staticcheck                  # lint src/repro + domain
     python -m repro.staticcheck --flow           # + interprocedural RF rules
+    python -m repro.staticcheck --concurrency    # + lock/async/shm RC rules
     python -m repro.staticcheck src/repro        # explicit paths
     python -m repro.staticcheck --format json path/to/file.py
     python -m repro.staticcheck --list-rules
-    python -m repro.staticcheck --rules RS001,RF002 src/repro
+    python -m repro.staticcheck --rules RS001,RF002,RC001 src/repro
     python -m repro.staticcheck --no-domain tests/staticcheck/fixtures
     python -m repro.staticcheck --no-cache       # bypass the warm cache
 
+Rule ids come from one registry (:mod:`repro.staticcheck.registry`):
+``RS`` per-file, ``RD`` domain, ``RF`` flow, ``RC`` concurrency.  Naming
+an ``RF``/``RC`` id under ``--rules`` implicitly enables that pass;
+naming ``RD`` ids narrows the domain report to them.
+
 Runs are incremental by default: per-file findings are cached in
-``.staticcheck_cache.json`` keyed on content hashes (the flow and domain
-passes on a whole-tree hash), so an unchanged tree re-renders without
-re-parsing anything.  ``--no-cache`` forces a full re-analysis.
+``.staticcheck_cache.json`` keyed on content hashes (the flow, domain,
+and concurrency passes on a whole-tree hash), so an unchanged tree
+re-renders without re-parsing anything.  ``--no-cache`` forces a full
+re-analysis.
 
 Exit codes: 0 clean, 1 findings, 2 usage / IO error.
 """
@@ -25,10 +32,12 @@ import argparse
 import sys
 from pathlib import Path
 
-from .flow import flow_rule_catalogue, get_flow_rules
+from .concurrency import get_concurrency_rules
+from .flow import get_flow_rules
 from .incremental import CACHE_FILE, incremental_check
+from .registry import FAMILY_SCOPES, partition_rule_ids, rule_registry
 from .reporter import render_json, render_text
-from .rules import get_rules, rule_catalogue
+from .rules import get_rules
 
 __all__ = ["main", "build_parser"]
 
@@ -41,7 +50,9 @@ def build_parser() -> argparse.ArgumentParser:
             "package: determinism, cache-key purity, and domain sanity. "
             "--flow adds the interprocedural pass (seed provenance, "
             "cache-purity closure, pool races, exception flow, "
-            "scalar/batch divergence) with call-chain traces."
+            "scalar/batch divergence); --concurrency adds the lock-guard/"
+            "async/shared-memory/lock-order pass — both with call-chain "
+            "traces."
         ),
     )
     parser.add_argument(
@@ -55,8 +66,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--rules", metavar="IDS",
         help=(
-            "comma-separated rule IDs to run (default: all); RF ids "
-            "implicitly enable the flow pass"
+            "comma-separated rule IDs to run (default: all); RF/RC ids "
+            "implicitly enable the flow/concurrency pass"
         ),
     )
     parser.add_argument(
@@ -64,8 +75,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the interprocedural RF rules over the call graph",
     )
     parser.add_argument(
+        "--concurrency", action="store_true",
+        help=(
+            "also run the RC concurrency rules (lock-guard inference, "
+            "_locked reachability, async blocking calls, shared-memory "
+            "lifecycle, lock-order cycles)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
-        help="print the rule catalogue (per-file + flow) and exit",
+        help="print the full rule catalogue (every family) and exit",
     )
     parser.add_argument(
         "--no-domain", action="store_true",
@@ -95,27 +114,14 @@ def _default_paths() -> list[str]:
 
 
 def _print_catalogue() -> None:
-    for row in rule_catalogue():
-        scope = ", ".join(row["scope"]) if row["scope"] else "all files"
-        print(f"{row['id']}  [{row['severity']}]  {row['summary']}")
+    for entry in rule_registry():
+        print(f"{entry.rule_id}  [{entry.severity}]  {entry.summary}")
+        if entry.scope:
+            scope = ", ".join(entry.scope)
+        else:
+            scope = FAMILY_SCOPES.get(entry.family) or "all files"
         print(f"       scope: {scope}")
-        print(f"       {row['rationale']}")
-    for row in flow_rule_catalogue():
-        print(f"{row['rule']}  [{row['severity']}]  {row['summary']}")
-        print("       scope: interprocedural (call graph)")
-        print(f"       {row['rationale']}")
-
-
-def _split_rule_ids(spec: str) -> tuple[list[str], list[str]]:
-    """Partition ``--rules`` ids into per-file (RS/RD) and flow (RF) ids."""
-    per_file: list[str] = []
-    flow: list[str] = []
-    for raw in spec.split(","):
-        rule_id = raw.strip()
-        if not rule_id:
-            continue
-        (flow if rule_id.upper().startswith("RF") else per_file).append(rule_id)
-    return per_file, flow
+        print(f"       {entry.rationale}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -123,15 +129,25 @@ def main(argv: list[str] | None = None) -> int:
     if args.list_rules:
         _print_catalogue()
         return 0
+    domain_ids: list[str] = []
     try:
         if args.rules:
-            per_file_ids, flow_ids = _split_rule_ids(args.rules)
+            by_family = partition_rule_ids(args.rules)
+            per_file_ids = by_family.get("per-file", [])
+            flow_ids = by_family.get("flow", [])
+            conc_ids = by_family.get("concurrency", [])
+            domain_ids = by_family.get("domain", [])
             rules = get_rules(per_file_ids) if per_file_ids else []
             flow_rules = (get_flow_rules(flow_ids) if flow_ids
                           else (get_flow_rules() if args.flow else None))
+            conc_rules = (
+                get_concurrency_rules(conc_ids) if conc_ids
+                else (get_concurrency_rules() if args.concurrency else None)
+            )
         else:
             rules = get_rules()
             flow_rules = get_flow_rules() if args.flow else None
+            conc_rules = get_concurrency_rules() if args.concurrency else None
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -142,6 +158,7 @@ def main(argv: list[str] | None = None) -> int:
             paths,
             per_file_rules=rules,
             flow_rules=flow_rules,
+            concurrency_rules=conc_rules,
             respect_scopes=not args.ignore_scopes,
             run_domain=not args.no_domain,
             cache_path=args.cache_file,
@@ -152,6 +169,14 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     result = outcome.result
+    if domain_ids:
+        # an explicit RD subset narrows the domain report; the cache
+        # stores the full validator output, so filter at render time
+        keep = set(domain_ids)
+        result.findings = [
+            f for f in result.findings
+            if not f.rule_id.startswith("RD") or f.rule_id in keep
+        ]
     if args.format == "json":
         print(render_json(result, stats=outcome.stats))
     else:

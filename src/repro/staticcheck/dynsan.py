@@ -1,0 +1,266 @@
+"""Dynamic lock-order sanitizer — the runtime half of the RC005 check.
+
+The static pass (:mod:`repro.staticcheck.concurrency`) proves the
+*resolved* lock graph acyclic; dynamic dispatch, callbacks, and test
+harness code sit outside it.  This module closes that gap at runtime:
+wrap the locks of interest in a :class:`LockOrderSanitizer` and every
+acquisition records a ``held -> acquired`` edge in a process-wide order
+graph.  The moment an acquisition would close a cycle — the classic
+AB/BA inversion — the sanitizer raises :class:`LockOrderViolation`
+*instead of deadlocking*, naming both edges.
+
+Usage (as wired into ``tests/core/test_service_concurrency.py``)::
+
+    san = LockOrderSanitizer()
+    log._lock = san.wrap(log._lock, "HistoryLog._lock")
+    idx._lock = san.wrap(idx._lock, "SignatureIndex._lock")
+    ... run the stress suite ...
+    assert san.cycles() == []
+
+The wrapper is a drop-in context manager with ``acquire``/``release``,
+so instrumented code paths need no changes.  Overhead is one dict
+update under a small internal lock per acquisition — fine for tests,
+not meant for production hot paths.
+
+Detection is *order-based*, like a lock-order (not a happens-before)
+sanitizer: it flags any two locks ever taken in both orders, even if
+the interleavings observed so far never actually deadlocked.  That is
+exactly the strictness a stress suite wants — the schedule that would
+deadlock is the one CI never reproduces.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+__all__ = [
+    "LockOrderViolation",
+    "SanitizedLock",
+    "LockOrderSanitizer",
+    "instrument_attr",
+]
+
+
+class LockOrderViolation(RuntimeError):
+    """An acquisition closed a cycle in the runtime lock-order graph."""
+
+
+class SanitizedLock:
+    """Drop-in wrapper notifying the sanitizer around a real lock."""
+
+    def __init__(self, sanitizer: "LockOrderSanitizer", lock,
+                 name: str, reentrant: bool = False):
+        self._sanitizer = sanitizer
+        self._lock = lock
+        self.name = name
+        self.reentrant = reentrant
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._sanitizer._on_acquire(self)
+        got = self._lock.acquire(blocking, timeout)
+        if not got:
+            self._sanitizer._on_release(self)
+        return got
+
+    def release(self) -> None:
+        self._lock.release()
+        self._sanitizer._on_release(self)
+
+    def __enter__(self) -> "SanitizedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.release()
+        return False
+
+
+class LockOrderSanitizer:
+    """Process-wide runtime acquisition-order graph with cycle detection.
+
+    ``raise_on_cycle=True`` (the default) turns the first observed
+    inversion into an immediate :class:`LockOrderViolation`; with it off
+    the graph just records, and :meth:`cycles` reports at the end — the
+    mode for surveying an existing suite without failing it.
+    """
+
+    def __init__(self, raise_on_cycle: bool = True):
+        self.raise_on_cycle = raise_on_cycle
+        self._meta = threading.Lock()
+        #: held name -> acquired name -> first-observation description
+        self._graph: dict[str, dict[str, str]] = {}
+        self._tls = threading.local()
+
+    # -- construction ------------------------------------------------------
+    def lock(self, name: str, reentrant: bool = False) -> SanitizedLock:
+        """A fresh sanitized lock (RLock when ``reentrant``)."""
+        raw = threading.RLock() if reentrant else threading.Lock()
+        return SanitizedLock(self, raw, name, reentrant=reentrant)
+
+    def wrap(self, lock, name: str) -> SanitizedLock:
+        """Wrap an existing lock object under ``name``.
+
+        Reentrancy is inferred from the wrapped type's repr — an RLock
+        may be re-acquired by its holder without a violation.
+        """
+        reentrant = "RLock" in type(lock).__name__ \
+            or "RLock" in repr(lock)
+        return SanitizedLock(self, lock, name, reentrant=reentrant)
+
+    # -- bookkeeping -------------------------------------------------------
+    def _held_stack(self) -> list[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def _on_acquire(self, lock: SanitizedLock) -> None:
+        stack = self._held_stack()
+        thread = threading.current_thread().name
+        if lock.name in stack and not lock.reentrant:
+            raise LockOrderViolation(
+                f"thread {thread} re-acquires non-reentrant lock "
+                f"{lock.name} it already holds"
+            )
+        new_cycle: str | None = None
+        with self._meta:
+            for held in stack:
+                if held == lock.name:
+                    continue                 # reentrant re-acquisition
+                edges = self._graph.setdefault(held, {})
+                if lock.name not in edges:
+                    edges[lock.name] = (
+                        f"thread {thread} acquired {lock.name} while "
+                        f"holding {held}"
+                    )
+                    if new_cycle is None:
+                        new_cycle = self._closes_cycle(lock.name, held)
+        if new_cycle is not None and self.raise_on_cycle:
+            # raise *before* pushing: the underlying lock is never
+            # acquired, so the held stack must not record it
+            raise LockOrderViolation(new_cycle)
+        stack.append(lock.name)
+
+    def _on_release(self, lock: SanitizedLock) -> None:
+        stack = self._held_stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == lock.name:
+                del stack[i]
+                break
+
+    def _closes_cycle(self, start: str, target: str) -> str | None:
+        """DFS from ``start``: a path back to ``target`` closes a cycle.
+
+        Called with ``self._meta`` held, immediately after inserting the
+        ``target -> start`` edge.
+        """
+        path = self._dfs_path(start, target)
+        if path is None:
+            return None
+        hops = " -> ".join([target, *path])
+        return (
+            f"lock-order cycle: {hops} (edge {target} -> {start} just "
+            f"observed; reverse path already on record)"
+        )
+
+    def _dfs_path(self, start: str, target: str) -> list[str] | None:
+        seen: set[str] = set()
+        stack: list[tuple[str, list[str]]] = [(start, [start])]
+        while stack:
+            node, path = stack.pop()
+            if node == target:
+                return path
+            if node in seen:
+                continue
+            seen.add(node)
+            for nxt in sorted(self._graph.get(node, ())):
+                stack.append((nxt, [*path, nxt]))
+        return None
+
+    # -- reporting ---------------------------------------------------------
+    def edges(self) -> list[tuple[str, str, str]]:
+        """Every observed ``(held, acquired, description)`` edge."""
+        with self._meta:
+            return [
+                (held, acquired, desc)
+                for held, targets in sorted(self._graph.items())
+                for acquired, desc in sorted(targets.items())
+            ]
+
+    def cycles(self) -> list[list[str]]:
+        """Strongly-connected components of size > 1 in the order graph."""
+        with self._meta:
+            adjacency = {
+                held: set(targets) for held, targets in self._graph.items()
+            }
+            for targets in list(adjacency.values()):
+                for name in targets:
+                    adjacency.setdefault(name, set())
+            return [
+                component
+                for component in _sccs(adjacency)
+                if len(component) > 1
+            ]
+
+
+def _sccs(adjacency: dict[str, set[str]]) -> Iterator[list[str]]:
+    """Iterative Tarjan SCCs (the dynsan twin of the static version)."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    for start in sorted(adjacency):
+        if start in index:
+            continue
+        work = [(start, iter(sorted(adjacency[start])))]
+        index[start] = low[start] = counter[0]
+        counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = low[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(adjacency[child]))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                yield sorted(component)
+
+
+def instrument_attr(obj: object, attr: str,
+                    sanitizer: LockOrderSanitizer,
+                    name: str | None = None) -> SanitizedLock:
+    """Replace ``obj.<attr>`` with a sanitized wrapper of itself.
+
+    Returns the wrapper so tests can assert on it; ``name`` defaults to
+    ``ClassName.attr``.
+    """
+    raw = getattr(obj, attr)
+    label = name or f"{type(obj).__name__}.{attr}"
+    wrapped = sanitizer.wrap(raw, label)
+    setattr(obj, attr, wrapped)
+    return wrapped

@@ -10,12 +10,18 @@ sections:
   Flow findings are whole-program facts: one edited file can change a
   call chain three modules away, so anything less than a tree key would
   serve stale chains.
+* ``tree.concurrency`` — the RC pass's findings and lock-model stats,
+  same tree key (lock inference is whole-program too).
 * ``tree.domain`` — the config-space validator's findings, same key.
 
+When both the flow and concurrency passes miss the cache, they share
+one call-graph build.
+
 The cache **signature** folds in the cache format version, the active
-rule ids (per-file and flow), the scope switch, and a digest of the
-staticcheck package's own sources — editing any rule invalidates every
-entry, so a stale linter can never replay old verdicts.
+rule ids (per-file, flow, and concurrency), the scope switch, and a
+digest of the staticcheck package's own sources — editing any rule
+(``concurrency.py`` included) invalidates every entry, so a stale
+linter can never replay old verdicts.
 
 Warm runs on an unchanged tree skip ``ast.parse`` entirely (and never
 even import the domain validator), and re-rendered output is
@@ -31,7 +37,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from .concurrency import ConcurrencyRule, lint_concurrency
 from .flow import ALL_FLOW_RULES, FlowRule, lint_flow
+from .graph import CallGraph, build_call_graph
 from .model import Finding, LintResult
 from .rules import ALL_RULES, Rule
 from .runner import iter_python_files, lint_source
@@ -70,11 +78,13 @@ def _self_digest() -> str:
 
 def _signature(per_file_rules: Sequence[type[Rule]],
                flow_rules: Sequence[type[FlowRule]] | None,
+               concurrency_rules: Sequence[type[ConcurrencyRule]] | None,
                respect_scopes: bool, run_domain: bool) -> str:
     parts = [
         f"v{_CACHE_VERSION}",
         ",".join(sorted(r.rule_id for r in per_file_rules)),
         ",".join(sorted(r.rule_id for r in (flow_rules or ()))),
+        ",".join(sorted(r.rule_id for r in (concurrency_rules or ()))),
         f"scopes={respect_scopes}",
         f"domain={run_domain}",
         _self_digest(),
@@ -113,18 +123,20 @@ def incremental_check(
     paths: Iterable[str | Path],
     per_file_rules: Sequence[type[Rule]] = ALL_RULES,
     flow_rules: Sequence[type[FlowRule]] | None = None,
+    concurrency_rules: Sequence[type[ConcurrencyRule]] | None = None,
     respect_scopes: bool = True,
     run_domain: bool = False,
     cache_path: str | Path = CACHE_FILE,
     use_cache: bool = True,
 ) -> CheckOutcome:
-    """Run the per-file pass (plus optional flow/domain) with caching.
+    """Run the per-file pass (plus optional flow/concurrency/domain)
+    with caching.
 
     ``use_cache=False`` is the ``--no-cache`` escape hatch: everything is
     re-analyzed and the cache file is left untouched.
     """
     cache_path = Path(cache_path)
-    signature = _signature(per_file_rules, flow_rules,
+    signature = _signature(per_file_rules, flow_rules, concurrency_rules,
                            respect_scopes, run_domain) if use_cache else ""
     cache = _load_cache(cache_path, signature) if use_cache else {}
     cached_files: dict = cache.get("files", {})
@@ -169,6 +181,10 @@ def incremental_check(
     stats: dict[str, object] | None = None
     new_tree_section: dict[str, object] = {"hash": tree}
 
+    #: one call graph shared by the flow and concurrency passes when
+    #: both miss the cache — building it twice would double the parse
+    graph: CallGraph | None = None
+
     if flow_rules is not None:
         if tree_cached and "flow" in cached_tree:
             flow_entry = cached_tree["flow"]
@@ -179,7 +195,10 @@ def incremental_check(
             stats = flow_entry.get("stats")
         else:
             tree_cached = False
-            report = lint_flow([str(p) for p in files], rules=flow_rules)
+            if graph is None and concurrency_rules is not None:
+                graph = build_call_graph([str(p) for p in files])
+            report = lint_flow([str(p) for p in files], rules=flow_rules,
+                               graph=graph)
             flow_result = report.result
             flow_result.n_files = 0     # files already counted above
             stats = report.stats
@@ -189,6 +208,32 @@ def incremental_check(
             "stats": stats,
         }
         result.extend(flow_result)
+
+    if concurrency_rules is not None:
+        if tree_cached and "concurrency" in cached_tree:
+            conc_entry = cached_tree["concurrency"]
+            conc_result = LintResult(
+                findings=_load_findings(conc_entry.get("findings", [])),
+                suppressed=_load_findings(conc_entry.get("suppressed", [])),
+            )
+            conc_stats = conc_entry.get("stats")
+        else:
+            tree_cached = False
+            conc_report = lint_concurrency(
+                [str(p) for p in files], rules=concurrency_rules,
+                graph=graph,
+            )
+            conc_result = conc_report.result
+            conc_result.n_files = 0     # files already counted above
+            conc_stats = conc_report.stats
+        new_tree_section["concurrency"] = {
+            "findings": _dump_findings(conc_result.findings),
+            "suppressed": _dump_findings(conc_result.suppressed),
+            "stats": conc_stats,
+        }
+        result.extend(conc_result)
+        if isinstance(conc_stats, dict):
+            stats = {**(stats or {}), **conc_stats}
 
     if run_domain:
         if tree_cached and "domain" in cached_tree:

@@ -3,7 +3,10 @@
 The multi-tenant front end runs sessions on several shard threads at
 once; these tests pin the thread-safety fixes that makes that sound:
 seed allocation, ledger charges, engine batch dispatch and the shard
-pool itself under concurrent load.
+pool itself under concurrent load.  The final class re-runs the shard
+stress with the service locks wrapped in the runtime lock-order
+sanitizer (``repro.staticcheck.dynsan``) so an AB/BA inversion that a
+schedule never happens to trip still fails the suite.
 """
 
 import threading
@@ -19,6 +22,7 @@ from repro.core.histlog import HistoryLog
 from repro.core.serviced import ShardPool
 from repro.engine import EngineObjective, EvaluationEngine
 from repro.sparksim import SparkSimulator
+from repro.staticcheck.dynsan import LockOrderSanitizer, instrument_attr
 from repro.workloads import Wordcount
 
 
@@ -134,6 +138,69 @@ class TestShardPoolUnderLoad:
         assert len(snap) == 120
         assert len({r.record_id for r in snap}) == 120
         assert pool.stats()["distinct_fingerprints"] == 5
+
+
+class TestLockOrderUnderStress:
+    def test_shard_stress_with_sanitized_locks_stays_acyclic(self):
+        """The RC005 acceptance check at runtime: the shard stress path
+        (seed lock, ledger lock, history-log lock) runs under the
+        lock-order sanitizer with raise-on-cycle armed.  A new nested
+        acquisition in either order deadlocks this test *deterministically*
+        as a LockOrderViolation instead of hanging CI."""
+        san = LockOrderSanitizer()
+        log = HistoryLog(segment_records=32, compact_after=2)
+        instrument_attr(log, "_lock", san, name="HistoryLog._lock")
+        ledgers = [CostLedger() for _ in range(3)]
+        for i, ledger in enumerate(ledgers):
+            instrument_attr(ledger, "_lock", san,
+                            name=f"CostLedger#{i}._lock")
+
+        def factory(i):
+            service = TuningService(store=HistoryStore(log),
+                                    ledger=ledgers[i],
+                                    executor="serial", seed=200 + i)
+            instrument_attr(service, "_seed_lock", san,
+                            name=f"TuningService#{i}._seed_lock")
+            return service
+
+        cluster = Cluster.of("m5.xlarge", 4)
+        with ShardPool(3, factory) as pool:
+            def job(service):
+                seed = service._next_seed()
+                service.ledger.charge_tuning(cluster, 30.0)
+                service.store.record(
+                    f"t{seed % 5}", "wc", 1_000.0, cluster.describe(),
+                    service.disc_space.default_configuration(),
+                    _Result(30.0, True), np.ones(4),
+                )
+                return seed
+
+            futures = [pool.submit(i % 3, job) for i in range(90)]
+            seeds = [f.result(timeout=30) for f in futures]
+        assert len(set(seeds)) == 90
+        assert len(log.snapshot()) == 90
+        # no inversion was observed anywhere in the stress run
+        assert san.cycles() == []
+        # and the instrumentation really was on the hot path: every
+        # sanitized lock appears in at least one recorded acquisition or
+        # the run would have deadlocked on a wrapped-lock bug
+        assert sum(ledger.tuning_runs for ledger in ledgers) == 90
+
+    def test_sanitizer_detects_a_seeded_inversion_in_service_code_shape(self):
+        """Negative control for the test above: the same wrapper setup
+        around a deliberate AB/BA inversion does raise."""
+        from repro.staticcheck.dynsan import LockOrderViolation
+
+        san = LockOrderSanitizer()
+        log_lock = san.lock("HistoryLog._lock")
+        ledger_lock = san.lock("CostLedger._lock")
+        with log_lock:
+            with ledger_lock:
+                pass
+        with pytest.raises(LockOrderViolation):
+            with ledger_lock:
+                with log_lock:
+                    pass
 
 
 class _Result:

@@ -1,0 +1,1 @@
+"""RC001 fixture: counters guarded on some write paths, bare on others."""

@@ -1,0 +1,31 @@
+"""A telemetry sink whose reset path forgets the lock its writers take."""
+
+import threading
+
+
+class Telemetry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.n_events = 0
+        self.n_drops = 0
+        self.pending = []
+
+    def record(self):
+        with self._lock:
+            self.n_events += 1
+
+    def drop(self):
+        with self._lock:
+            self.n_drops += 1
+
+    def enqueue(self, item):
+        with self._lock:
+            self.pending.append(item)
+
+    def requeue(self, item):
+        self.pending.append(item)
+
+    def reset(self):
+        self.n_events = 0
+        with self._lock:
+            self.n_drops = 0

@@ -1,0 +1,1 @@
+"""RC002 fixture: ``_locked`` helpers entered without their lock."""

@@ -1,0 +1,1 @@
+"""RC003 fixture: blocking calls reachable from an async entry point."""

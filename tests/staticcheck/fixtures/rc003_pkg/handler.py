@@ -1,0 +1,30 @@
+"""An async front door that blocks the loop two helpers down."""
+
+import asyncio
+import threading
+import time
+
+_LOCK = threading.Lock()
+
+
+async def handle(payload):
+    await asyncio.sleep(0)
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, lambda: time.sleep(0.01))
+    _stage(payload)
+    return _finish(payload)
+
+
+def _stage(payload):
+    time.sleep(0.01)
+    _LOCK.acquire()
+    try:
+        return payload
+    finally:
+        _LOCK.release()
+
+
+def _finish(payload):
+    with open("/tmp/rc003.txt", "w") as fh:
+        fh.write(str(payload))
+    return payload

@@ -1,0 +1,1 @@
+"""RC004 fixture: shared-memory segments leaking on some or all paths."""

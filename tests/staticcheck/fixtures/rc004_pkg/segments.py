@@ -1,0 +1,45 @@
+"""Segment lifecycles: never-released, exception-exposed, and unbound."""
+
+from multiprocessing import shared_memory
+
+
+def _digest(payload):
+    return sum(payload) % 251
+
+
+def stage_payload(payload):
+    shm = shared_memory.SharedMemory(create=True, size=len(payload))
+    shm.buf[: len(payload)] = payload
+    return shm.name
+
+
+def publish(payload):
+    seg = shared_memory.SharedMemory(create=True, size=1024)
+    checksum = _digest(payload)
+    seg.close()
+    return checksum
+
+
+def warm_cache():
+    shared_memory.SharedMemory(create=True, size=64)
+
+
+def roundtrip(payload):
+    seg = shared_memory.SharedMemory(create=True, size=len(payload))
+    try:
+        seg.buf[: len(payload)] = payload
+        return bytes(seg.buf[: len(payload)])
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+def _fresh_segment(size):
+    seg = shared_memory.SharedMemory(create=True, size=size)
+    return seg
+
+
+def borrow(size):
+    seg = _fresh_segment(size)
+    seg.buf[0] = 1
+    return seg.name

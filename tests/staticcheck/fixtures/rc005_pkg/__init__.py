@@ -1,0 +1,1 @@
+"""RC005 fixture: an AB/BA lock inversion plus a self-deadlock."""

@@ -1,0 +1,36 @@
+"""Two locks taken in both orders, and a non-reentrant re-acquisition."""
+
+import threading
+
+
+class Transfer:
+    def __init__(self):
+        self._incoming = threading.Lock()
+        self._outgoing = threading.Lock()
+        self.moved = 0
+
+    def debit(self, amount):
+        with self._incoming:
+            with self._outgoing:
+                self.moved += amount
+
+    def audit_sweep(self):
+        with self._outgoing:
+            with self._incoming:
+                return self.moved
+
+    def reconcile(self):
+        with self._incoming:
+            with self._incoming:
+                return self.moved
+
+
+class Recount:
+    def __init__(self):
+        self._guard = threading.RLock()
+        self.n = 0
+
+    def bump(self):
+        with self._guard:
+            with self._guard:
+                self.n += 1

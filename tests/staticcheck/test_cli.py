@@ -82,6 +82,52 @@ def test_list_rules(capsys):
         assert rule_id in out
 
 
+def test_list_rules_covers_every_family(capsys):
+    """The unified registry serves all four catalogues in one listing."""
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RS001", "RD001", "RD007", "RF001", "RF005",
+                    "RC001", "RC005"):
+        assert rule_id in out, rule_id
+    assert "interprocedural (call graph + inferred lock model)" in out
+
+
+def test_concurrency_flag_runs_the_rc_pass(capsys):
+    code = main(["--no-domain", "--concurrency", "--no-cache",
+                 str(FIXTURES / "rc001_pkg")])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "RC001" in out
+    assert "lock model: 1 lock(s)" in out
+
+
+def test_rc_rule_id_implicitly_enables_the_concurrency_pass(capsys):
+    code = main(["--no-domain", "--rules", "RC005", "--no-cache",
+                 str(FIXTURES / "rc005_pkg")])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "RC005" in out
+    # and a narrowed RC set really narrows: RC001 sees nothing there
+    code = main(["--no-domain", "--rules", "RC001", "--no-cache",
+                 str(FIXTURES / "rc005_pkg")])
+    assert code == 0
+    capsys.readouterr()
+
+
+def test_mixed_family_rule_spec(capsys):
+    """One --rules spec can name ids from several families at once."""
+    code = main(["--no-domain", "--rules", "RS001,RC001", "--no-cache",
+                 str(FIXTURES / "rc001_pkg")])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "RC001" in out
+
+
+def test_unknown_rc_rule_exits_two(capsys):
+    assert main(["--rules", "RC999", str(PACKAGE)]) == 2
+    assert "RC999" in capsys.readouterr().err
+
+
 def test_domain_validation_runs_by_default(capsys):
     """Linting the clean package with domain checks on still exits 0."""
     assert main([str(PACKAGE)]) == 0

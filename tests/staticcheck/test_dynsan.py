@@ -1,0 +1,224 @@
+"""Runtime lock-order sanitizer: inversions, reentrancy, reporting.
+
+The closing test loads the RC005 fixture package and drives its two
+methods under the sanitizer, proving the dynamic half catches at runtime
+exactly the inversion the static pass flags — the seeded deadlock the
+acceptance criteria call for.
+"""
+
+import importlib.util
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck.concurrency import (
+    get_concurrency_rules,
+    lint_concurrency,
+)
+from repro.staticcheck.dynsan import (
+    LockOrderSanitizer,
+    LockOrderViolation,
+    SanitizedLock,
+    instrument_attr,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_inversion_raises_with_both_edges_named():
+    san = LockOrderSanitizer()
+    a = san.lock("A")
+    b = san.lock("B")
+    with a:
+        with b:
+            pass
+    with b:
+        with pytest.raises(LockOrderViolation) as exc:
+            a.acquire()
+    message = str(exc.value)
+    assert "lock-order cycle: B -> A -> B" in message
+    assert "edge B -> A just observed" in message
+
+
+def test_failed_inversion_leaves_locks_releasable():
+    """The violation fires *before* the underlying acquire, so the held
+    stack stays truthful and the outer lock still releases cleanly."""
+    san = LockOrderSanitizer()
+    a = san.lock("A")
+    b = san.lock("B")
+    with a:
+        with b:
+            pass
+    with pytest.raises(LockOrderViolation):
+        with b:
+            with a:
+                pass
+    # b was released by the with-exit; a was never acquired
+    assert a.acquire(blocking=False)
+    a.release()
+    assert b.acquire(blocking=False)
+    b.release()
+
+
+def test_non_reentrant_reacquisition_raises():
+    san = LockOrderSanitizer()
+    lock = san.lock("L")
+    with lock:
+        with pytest.raises(LockOrderViolation, match="re-acquires"):
+            lock.acquire()
+    assert lock.acquire(blocking=False)
+    lock.release()
+
+
+def test_reentrant_lock_reacquisition_is_legal():
+    san = LockOrderSanitizer()
+    lock = san.lock("R", reentrant=True)
+    with lock:
+        with lock:
+            pass
+    wrapped = san.wrap(threading.RLock(), "W")
+    assert wrapped.reentrant       # inferred from the wrapped type
+    with wrapped:
+        with wrapped:
+            pass
+    assert san.cycles() == []
+
+
+def test_survey_mode_records_instead_of_raising():
+    san = LockOrderSanitizer(raise_on_cycle=False)
+    a = san.lock("A")
+    b = san.lock("B")
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass                   # no raise: survey mode
+    assert san.cycles() == [["A", "B"]]
+    edges = {(held, acquired) for held, acquired, _desc in san.edges()}
+    assert edges == {("A", "B"), ("B", "A")}
+
+
+def test_edges_record_first_observation_descriptions():
+    san = LockOrderSanitizer()
+    outer = san.lock("outer")
+    inner = san.lock("inner")
+    with outer:
+        with inner:
+            pass
+    [(held, acquired, desc)] = san.edges()
+    assert (held, acquired) == ("outer", "inner")
+    assert "acquired inner while holding outer" in desc
+
+
+def test_threads_contend_without_false_positives():
+    """Consistent A-then-B ordering across many threads never trips the
+    sanitizer; the graph stays a single edge."""
+    san = LockOrderSanitizer()
+    a = san.lock("A")
+    b = san.lock("B")
+    total = [0]
+
+    def worker():
+        for _ in range(200):
+            with a:
+                with b:
+                    total[0] += 1
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert total[0] == 800
+    assert san.cycles() == []
+    assert [(h, acq) for h, acq, _ in san.edges()] == [("A", "B")]
+
+
+def test_failed_nonblocking_acquire_does_not_pollute_the_stack():
+    san = LockOrderSanitizer()
+    raw = threading.Lock()
+    raw.acquire()                  # held elsewhere (simulated)
+    wrapped = san.wrap(raw, "busy")
+    other = san.lock("other")
+    assert not wrapped.acquire(blocking=False)
+    raw.release()
+    # a failed acquire must not leave "busy" on the held stack: taking
+    # another lock now must not record a busy -> other edge
+    with other:
+        pass
+    assert san.edges() == []
+
+
+def test_instrument_attr_swaps_in_place_and_labels():
+    class Holder:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def poke(self):
+            with self._lock:
+                return True
+
+    san = LockOrderSanitizer()
+    holder = Holder()
+    wrapped = instrument_attr(holder, "_lock", san)
+    assert holder._lock is wrapped
+    assert isinstance(wrapped, SanitizedLock)
+    assert wrapped.name == "Holder._lock"
+    assert holder.poke()
+
+
+# --- the seeded deadlock: static finding, dynamic catch -------------------
+
+def _load_transfer_module():
+    path = FIXTURES / "rc005_pkg" / "transfer.py"
+    spec = importlib.util.spec_from_file_location("rc005_transfer", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_dynsan_catches_the_inversion_the_static_pass_flags():
+    """RC005 statically names the cycle in the rc005 fixture; driving the
+    same two methods under the sanitizer reproduces it at runtime as a
+    LockOrderViolation instead of a hung test."""
+    report = lint_concurrency(
+        [str(FIXTURES / "rc005_pkg")],
+        rules=get_concurrency_rules(["RC005"]),
+    )
+    static_cycles = [
+        f for f in report.result.findings if "lock-order cycle" in f.message
+    ]
+    assert len(static_cycles) == 1
+    assert "Transfer._incoming" in static_cycles[0].message
+    assert "Transfer._outgoing" in static_cycles[0].message
+
+    module = _load_transfer_module()
+    transfer = module.Transfer()
+    san = LockOrderSanitizer()
+    instrument_attr(transfer, "_incoming", san)
+    instrument_attr(transfer, "_outgoing", san)
+    transfer.debit(1)              # records incoming -> outgoing
+    with pytest.raises(LockOrderViolation) as exc:
+        transfer.audit_sweep()     # outgoing -> incoming closes the cycle
+    message = str(exc.value)
+    assert "Transfer._incoming" in message
+    assert "Transfer._outgoing" in message
+    # the runtime graph names the same SCC the static finding does
+    survey = LockOrderSanitizer(raise_on_cycle=False)
+    fresh = module.Transfer()
+    instrument_attr(fresh, "_incoming", survey)
+    instrument_attr(fresh, "_outgoing", survey)
+    fresh.debit(1)
+    fresh.audit_sweep()
+    assert survey.cycles() == [["Transfer._incoming", "Transfer._outgoing"]]
+
+
+def test_dynsan_catches_the_reacquisition_too():
+    module = _load_transfer_module()
+    transfer = module.Transfer()
+    san = LockOrderSanitizer()
+    instrument_attr(transfer, "_incoming", san)
+    with pytest.raises(LockOrderViolation, match="re-acquires"):
+        transfer.reconcile()

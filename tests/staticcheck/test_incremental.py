@@ -13,6 +13,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.staticcheck.concurrency import ALL_CONCURRENCY_RULES
 from repro.staticcheck.flow import ALL_FLOW_RULES
 from repro.staticcheck.incremental import incremental_check
 from repro.staticcheck.reporter import render_json
@@ -141,6 +142,103 @@ def test_cache_payload_shape_is_stable(tmp_path):
     assert payload["tree"]["flow"]["stats"]["files"] == 3
 
 
+def _make_conc_pkg(tmp_path):
+    pkg = tmp_path / "conc_pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "counter.py").write_text(
+        "import threading\n"
+        "class Counter:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.n = 0\n"
+        "    def bump(self):\n"
+        "        with self._lock:\n"
+        "            self.n += 1\n"
+        "    def reset(self):\n"
+        "        self.n = 0\n"
+    )
+    return pkg
+
+
+def _conc_check(pkg, cache, **kwargs):
+    return incremental_check(
+        [str(pkg)], per_file_rules=[],
+        concurrency_rules=list(ALL_CONCURRENCY_RULES),
+        cache_path=cache, **kwargs,
+    )
+
+
+def test_concurrency_warm_run_parses_nothing_and_renders_identically(
+        tmp_path, monkeypatch):
+    pkg = _make_conc_pkg(tmp_path)
+    cache = tmp_path / "cache.json"
+    cold = _conc_check(pkg, cache)
+    assert [f.rule_id for f in cold.result.findings] == ["RC001"]
+    assert not cold.tree_cached
+    assert isinstance(cold.stats["concurrency"], dict)
+
+    calls = {"n": 0}
+    real_parse = ast.parse
+
+    def counting_parse(*args, **kwargs):
+        calls["n"] += 1
+        return real_parse(*args, **kwargs)
+
+    monkeypatch.setattr(ast, "parse", counting_parse)
+    warm = _conc_check(pkg, cache)
+    assert warm.n_reanalyzed == 0
+    assert warm.tree_cached
+    assert calls["n"] == 0
+    cold_json = render_json(cold.result, stats=cold.stats)
+    warm_json = render_json(warm.result, stats=warm.stats)
+    assert warm_json == cold_json   # lock-model stats round-trip too
+    payload = json.loads(cache.read_text())
+    assert set(payload) == {"signature", "files", "tree"}
+    conc_section = payload["tree"]["concurrency"]
+    assert set(conc_section) == {"findings", "suppressed", "stats"}
+    assert conc_section["stats"]["concurrency"]["locks"] == 1
+
+
+def test_concurrency_rule_set_change_invalidates_the_signature(tmp_path):
+    pkg = _make_conc_pkg(tmp_path)
+    cache = tmp_path / "cache.json"
+    _conc_check(pkg, cache)
+    narrowed = incremental_check(
+        [str(pkg)], per_file_rules=[],
+        concurrency_rules=[ALL_CONCURRENCY_RULES[4]],
+        cache_path=cache,
+    )
+    assert narrowed.n_reanalyzed == 2   # different signature: full rerun
+    assert not narrowed.tree_cached
+    assert narrowed.result.findings == []   # RC005 alone: counter is clean
+
+
+def test_flow_and_concurrency_share_one_graph_build(tmp_path, monkeypatch):
+    """When both tree passes miss the cache, exactly one call graph is
+    built and handed to both."""
+    from repro.staticcheck import concurrency, flow, graph, incremental
+
+    builds = {"n": 0}
+    real_build = graph.build_call_graph
+
+    def counting_build(paths):
+        builds["n"] += 1
+        return real_build(paths)
+
+    for module in (incremental, flow, concurrency):
+        monkeypatch.setattr(module, "build_call_graph", counting_build)
+    pkg = _make_conc_pkg(tmp_path)
+    out = incremental_check(
+        [str(pkg)], per_file_rules=[],
+        flow_rules=list(ALL_FLOW_RULES),
+        concurrency_rules=list(ALL_CONCURRENCY_RULES),
+        cache_path=tmp_path / "cache.json", use_cache=False,
+    )
+    assert builds["n"] == 1
+    assert [f.rule_id for f in out.result.findings] == ["RC001"]
+
+
 def test_cli_cold_and_warm_json_byte_identical(tmp_path, capsys, monkeypatch):
     """End-to-end through the CLI: the acceptance criterion itself."""
     from repro.staticcheck.cli import main
@@ -157,3 +255,20 @@ def test_cli_cold_and_warm_json_byte_identical(tmp_path, capsys, monkeypatch):
     assert payload["findings"][0]["rule"] == "RF001"
     assert payload["findings"][0]["chain"]  # chains survive the round-trip
     assert (tmp_path / ".staticcheck_cache.json").exists()
+
+
+def test_cli_concurrency_cold_and_warm_json_byte_identical(
+        tmp_path, capsys, monkeypatch):
+    from repro.staticcheck.cli import main
+
+    monkeypatch.chdir(tmp_path)
+    pkg = _make_conc_pkg(tmp_path)
+    argv = ["--no-domain", "--concurrency", "--format", "json", str(pkg)]
+    assert main(argv) == 1
+    cold = capsys.readouterr().out
+    assert main(argv) == 1
+    warm = capsys.readouterr().out
+    assert warm == cold
+    payload = json.loads(warm)
+    assert payload["findings"][0]["rule"] == "RC001"
+    assert payload["call_graph"]["concurrency"]["locks"] == 1
