@@ -1,0 +1,1699 @@
+"""Array-program analysis: shape/dtype abstract interpreter + RA rules.
+
+The repo's two standing contracts — bit-identity between scalar/batch
+paths and the throughput target — live in numpy array programs.  This
+pass interprets every analyzed function over a small abstract domain
+and lints what the RS/RF/RC families cannot see: silent dtype drift,
+provably incompatible shapes, hidden copies, python-level element
+loops, loop-invariant allocation, and expensive array work under a
+held lock.
+
+Abstract domain
+---------------
+An :class:`AV` (abstract value) is one of ``array`` / ``int`` /
+``float`` / ``bool`` / ``str`` / ``list`` / ``unknown``.  Arrays carry
+a *symbolic shape* — a tuple of dimensions that are int literals,
+symbols (``"n"``, ``"self._dim"``, ``"len(xs)"``), or the unknown dim
+``"?"`` — plus a canonical numpy dtype name and a contiguity bit
+(cleared by ``.T`` / ``transpose`` / step slices).  ``None`` as a shape
+means unknown rank.
+
+Soundness: the interpreter is **optimistic about the unknown** — a rule
+only fires on *provable* facts (two unequal int dims, a dtype literally
+spelled ``float32``, a call the lock scanner saw under a held lock).
+Unresolved calls, dynamic shapes, ``self`` attributes, and nested defs
+all degrade to ``unknown`` and fire nothing, so a clean ``--arrays``
+run means "clean over what the interpreter could see", not a proof —
+the same caveat the flow pass documents.
+
+The perf rules (RA003/RA004/RA005) apply only to *hot* functions: the
+closure of the declarative :mod:`repro.staticcheck.hotpaths` table over
+resolved call edges.  Files outside the ``repro`` package tree are
+entirely hot (fixture semantics, mirroring per-file rule scopes).
+Suppressions use the same ``# staticcheck: ignore[RAxxx]`` markers as
+every other pass, applied at the line the finding lands on.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from itertools import zip_longest
+from pathlib import Path
+from typing import ClassVar, Iterable, Sequence
+
+from .concurrency import build_lock_model
+from .graph import CallGraph, FunctionInfo, build_call_graph
+from .hotpaths import resolve_hot_functions
+from .model import Finding, LintResult, Severity, parse_suppressions
+from .runner import _in_repro_package
+
+__all__ = [
+    "AV",
+    "ArrayRule",
+    "ArrayAnalysis",
+    "ArraysReport",
+    "ALL_ARRAY_RULES",
+    "get_array_rules",
+    "array_rule_catalogue",
+    "run_array_rules",
+    "lint_arrays",
+]
+
+try:                                     # numpy drives dtype promotion;
+    import numpy as _np                  # degrade to "unknown" without it
+except Exception:                        # pragma: no cover - baked into CI
+    _np = None                           # type: ignore[assignment]
+
+#: the unknown dimension: never equal to, never in conflict with, anything
+UNKNOWN_DIM = "?"
+
+#: modules bound by the scalar/batch bit-identity contract (RA001 scope);
+#: extends the RS004 float-equality set with the numeric kernels the
+#: contract's arrays actually flow through
+BIT_IDENTITY_SCOPE: tuple[str, ...] = (
+    "simulator.py", "costmodel.py", "scheduler.py", "rngpool.py",
+    "gp.py", "additive_gp.py", "kernels.py", "simindex.py",
+    "similarity.py", "shm.py",
+)
+
+# --------------------------------------------------------------------------
+# abstract values
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AV:
+    """One abstract value: a kind, and for arrays a shape/dtype/contiguity.
+
+    Scalar kinds may carry an explicit numpy ``dtype`` (``np.float32(x)``
+    is a *strong* float32 scalar, a bare python float a *weak* one) —
+    the distinction NEP 50 promotion needs.
+    """
+
+    kind: str = "unknown"
+    shape: tuple | None = None
+    dtype: str | None = None
+    contiguous: bool = True
+
+
+UNKNOWN = AV()
+INT = AV("int")
+FLOAT = AV("float")
+BOOL = AV("bool")
+STR = AV("str")
+LIST = AV("list")
+
+
+def _arr(shape: tuple | None, dtype: str | None,
+         contiguous: bool = True) -> AV:
+    return AV("array", shape, dtype, contiguous)
+
+
+def _fmt_shape(shape: tuple | None) -> str:
+    if shape is None:
+        return "(?)"
+    if len(shape) == 1:
+        return f"({shape[0]},)"
+    return "(" + ", ".join(str(d) for d in shape) + ")"
+
+
+def _fmt_dtype(dtype: str | None) -> str:
+    return dtype if dtype is not None else "?"
+
+
+# --------------------------------------------------------------------------
+# dtype lattice
+# --------------------------------------------------------------------------
+
+#: numpy spellings whose width depends on the platform's C types
+_PLATFORM_DTYPES = frozenset({
+    "int_", "intc", "uint", "long", "ulong", "longlong", "ulonglong",
+})
+
+#: spellings that narrow the float64 bit-identity contract
+_NARROW_FLOATS = frozenset({"float32", "float16", "single", "half"})
+
+_DTYPE_CANON = {
+    "single": "float32", "half": "float16", "double": "float64",
+    "float_": "float64", "bool_": "bool", "int_": "int64",
+    "intc": "int32", "long": "int64", "longlong": "int64",
+    "intp": "int64", "byte": "int8", "short": "int16",
+}
+
+_FLOAT_WIDTH = {"float16": 2, "float32": 4, "float64": 8}
+
+
+def _is_int_dtype(dtype: str | None) -> bool:
+    return dtype is not None and (dtype.startswith("int")
+                                  or dtype.startswith("uint"))
+
+
+def _is_float_dtype(dtype: str | None) -> bool:
+    return dtype is not None and dtype.startswith("float")
+
+
+def _promote(a: str | None, b: str | None) -> str | None:
+    """numpy's own result_type over canonical names; unknown degrades."""
+    if a is None or b is None or _np is None:
+        return None
+    try:
+        return _np.result_type(a, b).name
+    except Exception:
+        return None
+
+
+def _effective_dtype(av: AV) -> str | None:
+    """Operand dtype for promotion: strong dtypes pass through, weak
+    python scalars resolve against the other operand (see _pair_dtype)."""
+    if av.kind == "array" or av.dtype is not None:
+        return av.dtype
+    return {"int": "weak-int", "float": "weak-float",
+            "bool": "weak-bool"}.get(av.kind)
+
+
+def _pair_dtype(da: str | None, db: str | None) -> str | None:
+    """NEP-50-style promotion of two effective dtypes."""
+    weak = {"weak-int", "weak-float", "weak-bool"}
+    if da in weak and db in weak:
+        return None                      # scalar-scalar: nothing to pin
+    if da in weak:
+        da, db = db, da
+    if db in weak:
+        if db == "weak-float" and not _is_float_dtype(da):
+            return "float64" if da is not None else None
+        return da
+    return _promote(da, db)
+
+
+# --------------------------------------------------------------------------
+# symbolic shapes
+# --------------------------------------------------------------------------
+
+
+def _dims_broadcast(d1, d2):
+    """One broadcast step: (result dim, conflict pair or None)."""
+    if d1 == 1:
+        return d2, None
+    if d2 == 1:
+        return d1, None
+    if isinstance(d1, int) and isinstance(d2, int):
+        if d1 == d2:
+            return d1, None
+        return UNKNOWN_DIM, (d1, d2)
+    if d1 == d2 and d1 != UNKNOWN_DIM:
+        return d1, None                  # same symbol
+    return UNKNOWN_DIM, None             # symbol vs anything: unknowable
+
+
+def _broadcast(s1: tuple | None, s2: tuple | None):
+    """Broadcast two symbolic shapes: (shape, conflict pair or None)."""
+    if s1 is None or s2 is None:
+        return None, None
+    out: list = []
+    conflict = None
+    for d1, d2 in zip_longest(reversed(s1), reversed(s2), fillvalue=1):
+        dim, bad = _dims_broadcast(d1, d2)
+        out.append(dim)
+        if bad is not None and conflict is None:
+            conflict = bad
+    return tuple(reversed(out)), conflict
+
+
+def _inner_conflict(x, y):
+    """Matmul inner dims must match exactly (no broadcast-to-1)."""
+    if isinstance(x, int) and isinstance(y, int) and x != y:
+        return (x, y)
+    return None
+
+
+def _matmul_shape(sa: tuple | None, sb: tuple | None):
+    """(result shape, inner-dim conflict or None) for ``a @ b``."""
+    if sa is None or sb is None or not sa or not sb:
+        return None, None
+    if len(sa) == 1 and len(sb) == 1:
+        return (), _inner_conflict(sa[0], sb[0])
+    if len(sa) == 2 and len(sb) == 1:
+        return (sa[0],), _inner_conflict(sa[1], sb[0])
+    if len(sa) == 1 and len(sb) == 2:
+        return (sb[1],), _inner_conflict(sa[0], sb[0])
+    if len(sa) == 2 and len(sb) == 2:
+        return (sa[0], sb[1]), _inner_conflict(sa[1], sb[0])
+    return None, None                    # stacked matmul: out of subset
+
+
+def _merge_dims(a, b):
+    if a == b:
+        return a
+    return UNKNOWN_DIM
+
+
+def _merge(a: AV, b: AV) -> AV:
+    """Join of two abstract values (branch/loop merge)."""
+    if a == b:
+        return a
+    if a.kind != b.kind:
+        return UNKNOWN
+    if a.kind == "array":
+        if a.shape is None or b.shape is None or len(a.shape) != len(b.shape):
+            shape = None
+        else:
+            shape = tuple(_merge_dims(x, y)
+                          for x, y in zip(a.shape, b.shape))
+        dtype = a.dtype if a.dtype == b.dtype else None
+        return _arr(shape, dtype, a.contiguous and b.contiguous)
+    dtype = a.dtype if a.dtype == b.dtype else None
+    return AV(a.kind, None, dtype)
+
+
+# --------------------------------------------------------------------------
+# facts
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fact:
+    """One interpreter observation, pre-rendered for the report."""
+
+    kind: str
+    qname: str
+    path: str
+    line: int
+    col: int
+    detail: str
+
+
+#: numpy callables that allocate (RA005's loop-invariant check)
+_CONSTRUCTORS = frozenset({
+    "zeros", "ones", "empty", "full", "zeros_like", "ones_like",
+    "empty_like", "full_like", "arange", "linspace", "eye", "identity",
+})
+
+#: numpy callables that build a fresh array from parts (RA005 growth)
+_GROWERS = frozenset({"concatenate", "append", "vstack", "hstack", "stack"})
+
+_ELEMENTWISE = frozenset({
+    "sqrt", "exp", "log", "log2", "log10", "abs", "absolute", "sign",
+    "floor", "ceil", "round", "tanh", "exp2", "square", "reciprocal",
+    "add", "subtract", "multiply", "divide", "true_divide",
+    "floor_divide", "power", "mod", "maximum", "minimum", "clip",
+    "logical_and", "logical_or", "logical_not", "isnan", "isfinite",
+    "isinf",
+})
+
+_FLOAT_FUNCS = frozenset({
+    "sqrt", "exp", "log", "log2", "log10", "tanh", "exp2", "reciprocal",
+})
+
+_BOOL_FUNCS = frozenset({
+    "logical_and", "logical_or", "logical_not", "isnan", "isfinite",
+    "isinf",
+})
+
+_REDUCTIONS = frozenset({
+    "sum", "mean", "prod", "min", "max", "amin", "amax", "std", "var",
+    "median", "all", "any", "argmin", "argmax", "count_nonzero",
+})
+
+_METHOD_REDUCTIONS = frozenset({
+    "sum", "mean", "prod", "min", "max", "std", "var", "all", "any",
+    "argmin", "argmax",
+})
+
+_SAME_SHAPE_FUNCS = frozenset({"sort", "argsort", "partition",
+                               "argpartition", "cumsum", "cumprod"})
+
+
+# --------------------------------------------------------------------------
+# the interpreter
+# --------------------------------------------------------------------------
+
+
+class _Interp:
+    """One function's abstract execution; appends to ``analysis.facts``."""
+
+    def __init__(self, analysis: "ArrayAnalysis", info: FunctionInfo):
+        self.analysis = analysis
+        self.graph = analysis.graph
+        self.info = info
+        self.mod = analysis.graph.modules.get(info.module)
+        self.env: dict[str, AV] = {}
+        #: stack of per-loop assigned-name sets (loop-variance)
+        self._loops: list[set[str]] = []
+        #: local list names `.append`ed to inside a loop
+        self._loop_appended: set[str] = set()
+        self._returns: list[AV] = []
+        self._site_map = {
+            (s.line, s.col): s for s in analysis.graph.sites_of(info.qname)
+        }
+
+    # -- plumbing ----------------------------------------------------------
+    def _fact(self, kind: str, node: ast.AST, detail: str) -> None:
+        self.analysis.facts.append(Fact(
+            kind=kind, qname=self.info.qname, path=self.info.path,
+            line=node.lineno, col=node.col_offset, detail=detail,
+        ))
+
+    def _numpy_name(self, expr: ast.expr) -> str | None:
+        """Absolute dotted numpy name of ``expr`` via module imports."""
+        if self.mod is None:
+            return None
+        parts: list[str] = []
+        node = expr
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.mod.imports.get(node.id)
+        if root is None:
+            return None
+        full = ".".join([root, *reversed(parts)])
+        if full == "numpy" or full.startswith("numpy."):
+            return full
+        return None
+
+    def _sym(self, expr: ast.expr):
+        """A dimension: int literal, readable symbol, or UNKNOWN_DIM."""
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, int) \
+                and not isinstance(expr.value, bool):
+            return expr.value
+        if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.USub) \
+                and isinstance(expr.operand, ast.Constant) \
+                and isinstance(expr.operand.value, int):
+            return -expr.operand.value
+        if isinstance(expr, ast.Name):
+            return expr.id
+        if isinstance(expr, ast.Attribute):
+            parts: list[str] = []
+            node: ast.expr = expr
+            while isinstance(node, ast.Attribute):
+                parts.append(node.attr)
+                node = node.value
+            if isinstance(node, ast.Name) and len(parts) <= 2:
+                parts.append(node.id)
+                return ".".join(reversed(parts))
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) \
+                and expr.func.id == "len" and len(expr.args) == 1:
+            inner = self._sym(expr.args[0])
+            if isinstance(inner, str) and inner != UNKNOWN_DIM:
+                return f"len({inner})"
+        return UNKNOWN_DIM
+
+    def _shape_from_arg(self, expr: ast.expr) -> tuple | None:
+        """Shape of a constructor's shape argument."""
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            return tuple(self._sym(el) for el in expr.elts)
+        return (self._sym(expr),)
+
+    def _parse_dtype(self, expr: ast.expr | None,
+                     node: ast.AST | None = None):
+        """(canonical dtype, spelling); emits RA001 facts when asked."""
+        if expr is None:
+            return None, None
+        name: str | None = None
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            name = expr.value
+        elif isinstance(expr, ast.Name) and expr.id in (
+                "int", "float", "bool", "complex"):
+            name = {"int": "int64", "float": "float64", "bool": "bool",
+                    "complex": "complex128"}[expr.id]
+            return name, expr.id
+        else:
+            full = self._numpy_name(expr)
+            if full is not None and full.startswith("numpy."):
+                name = full[len("numpy."):]
+        if name is None:
+            return None, None
+        canon = _DTYPE_CANON.get(name, name)
+        if node is not None:
+            if name in _NARROW_FLOATS or canon in ("float32", "float16"):
+                self._fact(
+                    "narrow-float-dtype", node,
+                    f"dtype {name!r} narrows the float64 bit-identity "
+                    f"contract; use float64 (or waive with a reason)")
+            elif name in _PLATFORM_DTYPES:
+                self._fact(
+                    "platform-dtype", node,
+                    f"platform-dependent dtype {name!r} (C-type width "
+                    f"varies across platforms); pin an explicit width "
+                    f"like int64")
+        return canon, name
+
+    def _loop_variant(self) -> set[str]:
+        out: set[str] = set()
+        for names in self._loops:
+            out |= names
+        return out
+
+    def _bind(self, name: str, av: AV) -> None:
+        self.env[name] = av
+        for names in self._loops:
+            names.add(name)
+
+    def _bind_target(self, target: ast.expr, av: AV) -> None:
+        if isinstance(target, ast.Name):
+            self._bind(target.id, av)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for el in target.elts:
+                self._bind_target(el, UNKNOWN)
+        # attribute/subscript targets: out of the local domain
+
+    # -- entry -------------------------------------------------------------
+    def run(self) -> AV:
+        for arg in self._all_params():
+            self.env[arg.arg] = self._param_av(arg)
+        self._exec_block(self.info.node.body)
+        summary = UNKNOWN
+        if self._returns:
+            summary = self._returns[0]
+            for av in self._returns[1:]:
+                summary = _merge(summary, av)
+        return summary
+
+    def _all_params(self) -> list[ast.arg]:
+        a = self.info.node.args
+        return [*a.posonlyargs, *a.args, *a.kwonlyargs]
+
+    def _param_av(self, arg: ast.arg) -> AV:
+        ann = arg.annotation
+        if ann is None:
+            return UNKNOWN
+        if isinstance(ann, ast.Name):
+            return {"int": INT, "float": FLOAT, "bool": BOOL,
+                    "str": STR, "list": LIST}.get(ann.id, UNKNOWN)
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            if ann.value.endswith("ndarray"):
+                return _arr(None, None)
+            return UNKNOWN
+        if self._numpy_name(ann) == "numpy.ndarray":
+            return _arr(None, None)
+        return UNKNOWN
+
+    # -- statements --------------------------------------------------------
+    def _exec_block(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._exec(stmt)
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            av = self._eval(stmt.value)
+            self._check_growth(stmt, av)
+            for target in stmt.targets:
+                self._bind_target(target, av)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                av = self._eval(stmt.value)
+            else:
+                av = self._param_av(ast.arg(arg="_", annotation=stmt.annotation))
+            if isinstance(stmt.target, ast.Name):
+                self._bind(stmt.target.id, av)
+        elif isinstance(stmt, ast.AugAssign):
+            value = self._eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                current = self.env.get(stmt.target.id, UNKNOWN)
+                self._bind(stmt.target.id,
+                           self._binop_av(stmt, stmt.op, current, value))
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._returns.append(self._eval(stmt.value))
+            else:
+                self._returns.append(AV("none"))
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            self._exec_branches([stmt.body, stmt.orelse])
+        elif isinstance(stmt, ast.For):
+            self._exec_for(stmt)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            self._exec_loop_body(stmt.body, loop_names=set())
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, UNKNOWN)
+            self._exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._exec_branches(
+                [stmt.body]
+                + [h.body for h in stmt.handlers]
+            )
+            self._exec_block(stmt.orelse)
+            self._exec_block(stmt.finalbody)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            pass                         # nested defs: out of the domain
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        # pass/break/continue/import/global: nothing to do
+
+    def _exec_branches(self, branches: list[list[ast.stmt]]) -> None:
+        base = dict(self.env)
+        outcomes: list[dict[str, AV]] = []
+        for body in branches:
+            self.env = dict(base)
+            self._exec_block(body)
+            outcomes.append(self.env)
+        merged = dict(outcomes[0])
+        for env in outcomes[1:]:
+            for name in set(merged) | set(env):
+                merged[name] = _merge(merged.get(name, UNKNOWN),
+                                      env.get(name, UNKNOWN))
+        self.env = merged
+
+    def _exec_for(self, stmt: ast.For) -> None:
+        iter_av = self._eval(stmt.iter)
+        element = UNKNOWN
+        if iter_av.kind == "array":
+            self._fact(
+                "iter-ndarray", stmt,
+                f"python-level loop over ndarray of shape "
+                f"{_fmt_shape(iter_av.shape)} dtype "
+                f"{_fmt_dtype(iter_av.dtype)}; vectorize the body")
+            element = self._element_of(iter_av)
+        loop_names: set[str] = set()
+        self._collect_names(stmt.target, loop_names)
+        self._bind_target(stmt.target, element)
+        self._exec_loop_body(stmt.body, loop_names)
+        self._exec_block(stmt.orelse)
+
+    def _exec_loop_body(self, body: list[ast.stmt],
+                        loop_names: set[str]) -> None:
+        before = dict(self.env)
+        self._loops.append(set(loop_names))
+        self._exec_block(body)
+        assigned = self._loops.pop()
+        for name in assigned:
+            self.env[name] = _merge(before.get(name, UNKNOWN),
+                                    self.env.get(name, UNKNOWN))
+
+    @staticmethod
+    def _collect_names(target: ast.expr, out: set[str]) -> None:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                out.add(node.id)
+
+    def _element_of(self, av: AV) -> AV:
+        if av.shape is None:
+            return UNKNOWN               # unknown rank: could be scalar
+        if len(av.shape) == 1:
+            if _is_float_dtype(av.dtype):
+                return AV("float", None, av.dtype)
+            if _is_int_dtype(av.dtype):
+                return AV("int", None, av.dtype)
+            if av.dtype == "bool":
+                return AV("bool", None, av.dtype)
+            return UNKNOWN
+        return _arr(av.shape[1:], av.dtype)
+
+    def _check_growth(self, stmt: ast.Assign, value_av: AV) -> None:
+        """``acc = np.concatenate([acc, ...])`` inside a loop (RA005)."""
+        if not self._loops or not isinstance(stmt.value, ast.Call):
+            return
+        full = self._numpy_name(stmt.value.func)
+        if full is None or full[len("numpy."):] not in _GROWERS:
+            return
+        targets = {t.id for t in stmt.targets if isinstance(t, ast.Name)}
+        if not targets:
+            return
+        arg_names = {
+            n.id for a in stmt.value.args for n in ast.walk(a)
+            if isinstance(n, ast.Name)
+        }
+        grown = sorted(targets & arg_names)
+        if grown:
+            self._fact(
+                "concat-growth", stmt.value,
+                f"{full.split('.')[-1]} onto its own accumulator "
+                f"{grown[0]!r} inside a loop grows quadratically; "
+                f"preallocate or collect parts and concatenate once")
+
+    # -- expressions -------------------------------------------------------
+    def _eval(self, expr: ast.expr) -> AV:
+        if isinstance(expr, ast.Constant):
+            v = expr.value
+            if isinstance(v, bool):
+                return BOOL
+            if isinstance(v, int):
+                return INT
+            if isinstance(v, float):
+                return FLOAT
+            if isinstance(v, str):
+                return STR
+            return UNKNOWN
+        if isinstance(expr, ast.Name):
+            return self.env.get(expr.id, UNKNOWN)
+        if isinstance(expr, ast.BinOp):
+            left = self._eval(expr.left)
+            right = self._eval(expr.right)
+            return self._binop_av(expr, expr.op, left, right)
+        if isinstance(expr, ast.UnaryOp):
+            inner = self._eval(expr.operand)
+            if isinstance(expr.op, ast.Not):
+                return BOOL
+            return inner
+        if isinstance(expr, ast.BoolOp):
+            for v in expr.values:
+                self._eval(v)
+            return UNKNOWN
+        if isinstance(expr, ast.Compare):
+            return self._eval_compare(expr)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, ast.Attribute):
+            return self._eval_attribute(expr)
+        if isinstance(expr, ast.Subscript):
+            return self._eval_subscript(expr)
+        if isinstance(expr, ast.IfExp):
+            self._eval(expr.test)
+            return _merge(self._eval(expr.body), self._eval(expr.orelse))
+        if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+            for el in expr.elts:
+                self._eval(el)
+            return LIST if isinstance(expr, ast.List) else UNKNOWN
+        if isinstance(expr, ast.Dict):
+            for v in expr.values:
+                if v is not None:
+                    self._eval(v)
+            return UNKNOWN
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._eval_comprehension(expr)
+        if isinstance(expr, ast.Starred):
+            return self._eval(expr.value)
+        if isinstance(expr, ast.JoinedStr):
+            return STR
+        if isinstance(expr, ast.Lambda):
+            return UNKNOWN
+        return UNKNOWN
+
+    def _eval_comprehension(self, expr) -> AV:
+        for gen in expr.generators:
+            iter_av = self._eval(gen.iter)
+            if iter_av.kind == "array":
+                self._fact(
+                    "comprehension-over-ndarray", expr,
+                    f"comprehension over ndarray of shape "
+                    f"{_fmt_shape(iter_av.shape)} dtype "
+                    f"{_fmt_dtype(iter_av.dtype)} makes a python-level "
+                    f"element loop; vectorize")
+            self._bind_target(gen.target, UNKNOWN)
+            for cond in gen.ifs:
+                self._eval(cond)
+        if isinstance(expr, ast.GeneratorExp):
+            return UNKNOWN
+        self._eval(expr.elt)
+        return LIST
+
+    def _eval_compare(self, expr: ast.Compare) -> AV:
+        avs = [self._eval(expr.left)] + [self._eval(c)
+                                         for c in expr.comparators]
+        shape: tuple | None = ()
+        is_array = False
+        for prev, cur in zip(avs, avs[1:]):
+            if prev.kind == "array" or cur.kind == "array":
+                is_array = True
+                sa = prev.shape if prev.kind == "array" else ()
+                sb = cur.shape if cur.kind == "array" else ()
+                shape, conflict = _broadcast(
+                    shape if shape is not None else None, sa)
+                shape, conflict2 = _broadcast(
+                    shape if shape is not None else None, sb)
+                bad = conflict or conflict2
+                if bad is not None:
+                    self._fact(
+                        "broadcast-mismatch", expr,
+                        f"comparison of incompatible shapes "
+                        f"{_fmt_shape(prev.shape)} and "
+                        f"{_fmt_shape(cur.shape)}: dimension "
+                        f"{bad[0]} vs {bad[1]} cannot broadcast")
+        if is_array:
+            return _arr(shape, "bool")
+        return BOOL
+
+    def _binop_av(self, node: ast.AST, op: ast.operator,
+                  left: AV, right: AV) -> AV:
+        if isinstance(op, ast.MatMult):
+            return self._matmul_av(node, left, right)
+        arrays = [v for v in (left, right) if v.kind == "array"]
+        da, db = _effective_dtype(left), _effective_dtype(right)
+        if not arrays:
+            if left.kind == right.kind and left.kind in (
+                    "int", "float", "str"):
+                if isinstance(op, ast.Div):
+                    return FLOAT
+                return AV(left.kind)
+            if {left.kind, right.kind} <= {"int", "float", "bool"}:
+                return FLOAT if "float" in (left.kind, right.kind) else INT
+            return UNKNOWN
+        sa = left.shape if left.kind == "array" else ()
+        sb = right.shape if right.kind == "array" else ()
+        shape, conflict = _broadcast(sa, sb)
+        if conflict is not None:
+            self._fact(
+                "broadcast-mismatch", node,
+                f"operands of incompatible shapes {_fmt_shape(left.shape)} "
+                f"and {_fmt_shape(right.shape)}: dimension {conflict[0]} "
+                f"vs {conflict[1]} cannot broadcast")
+        if _is_float_dtype(da) and _is_float_dtype(db) and da != db:
+            self._fact(
+                "mixed-float-op", node,
+                f"mixed-precision operation ({da} with {db}) promotes "
+                f"silently to {_pair_dtype(da, db) or '?'}; cast one "
+                f"operand explicitly")
+        dtype = _pair_dtype(da, db)
+        if isinstance(op, ast.Div):
+            int_a = _is_int_dtype(da) or da == "weak-int"
+            int_b = _is_int_dtype(db) or db == "weak-int"
+            if (_is_int_dtype(da) or _is_int_dtype(db)) and int_a and int_b:
+                self._fact(
+                    "int-truediv", node,
+                    f"true division of integer operands "
+                    f"({_fmt_dtype(da)} / {_fmt_dtype(db)}) yields "
+                    f"float64 implicitly; make the cast explicit")
+            if dtype is not None and not _is_float_dtype(dtype):
+                dtype = "float64"
+        return _arr(shape, dtype)
+
+    def _matmul_av(self, node: ast.AST, left: AV, right: AV) -> AV:
+        if left.kind != "array" and right.kind != "array":
+            return UNKNOWN
+        if left.kind == "array" and right.kind == "array":
+            if not left.contiguous or not right.contiguous:
+                side = "left" if not left.contiguous else "right"
+                self._fact(
+                    "noncontig-matmul", node,
+                    f"{side} matmul operand is a non-contiguous view "
+                    f"(transpose/strided slice); BLAS pack-copies it on "
+                    f"every call — pre-copy it once instead")
+        sa = left.shape if left.kind == "array" else None
+        sb = right.shape if right.kind == "array" else None
+        shape, conflict = _matmul_shape(sa, sb)
+        if conflict is not None:
+            self._fact(
+                "matmul-mismatch", node,
+                f"matmul of {_fmt_shape(sa)} @ {_fmt_shape(sb)}: inner "
+                f"dimensions {conflict[0]} and {conflict[1]} differ")
+        dtype = _pair_dtype(_effective_dtype(left), _effective_dtype(right))
+        if shape == ():
+            return AV("float" if _is_float_dtype(dtype) else "unknown",
+                      None, dtype)
+        return _arr(shape, dtype)
+
+    # -- attribute / subscript --------------------------------------------
+    def _eval_attribute(self, expr: ast.Attribute) -> AV:
+        base = self._eval(expr.value)
+        if base.kind == "array":
+            if expr.attr == "T":
+                shape = tuple(reversed(base.shape)) \
+                    if base.shape is not None else None
+                return _arr(shape, base.dtype, contiguous=False)
+            if expr.attr in ("size", "ndim", "itemsize", "nbytes"):
+                return INT
+        return UNKNOWN
+
+    def _eval_subscript(self, expr: ast.Subscript) -> AV:
+        base = self._eval(expr.value)
+        idx = expr.slice
+        if base.kind != "array":
+            self._eval_index(idx)
+            return UNKNOWN
+        if self._is_fancy_index(idx):
+            idx_av = self._eval_index(idx)
+            if self._loops:
+                self._fact(
+                    "fancy-index-loop", expr,
+                    f"fancy indexing into shape {_fmt_shape(base.shape)} "
+                    f"copies on every loop iteration; hoist the gather "
+                    f"out of the loop")
+            if idx_av.kind == "array" and idx_av.dtype == "bool":
+                return _arr((UNKNOWN_DIM,), base.dtype)
+            return _arr(None, base.dtype)
+        self._eval_index(idx)
+        return self._sliced(base, idx)
+
+    def _eval_index(self, idx: ast.expr) -> AV:
+        if isinstance(idx, ast.Slice):
+            for part in (idx.lower, idx.upper, idx.step):
+                if part is not None:
+                    self._eval(part)
+            return UNKNOWN
+        if isinstance(idx, ast.Tuple):
+            for el in idx.elts:
+                self._eval_index(el)
+            return UNKNOWN
+        return self._eval(idx)
+
+    def _is_fancy_index(self, idx: ast.expr) -> bool:
+        if isinstance(idx, ast.List):
+            return True
+        if isinstance(idx, ast.Tuple):
+            return any(self._is_fancy_index(el) for el in idx.elts)
+        if isinstance(idx, ast.Slice) or (
+                isinstance(idx, ast.Constant)):
+            return False
+        if isinstance(idx, (ast.Name, ast.Attribute, ast.Call,
+                            ast.Subscript)):
+            av = self._eval(idx)
+            return av.kind in ("array", "list")
+        return False
+
+    def _sliced(self, base: AV, idx: ast.expr) -> AV:
+        if base.shape is None:
+            return _arr(None, base.dtype, base.contiguous)
+        parts = list(idx.elts) if isinstance(idx, ast.Tuple) else [idx]
+        dims = list(base.shape)
+        out: list = []
+        contiguous = base.contiguous
+        i = 0
+        for part in parts:
+            if isinstance(part, ast.Constant) and part.value is None:
+                out.append(1)
+                continue
+            if isinstance(part, ast.Constant) and part.value is Ellipsis:
+                remaining = len(dims) - i - sum(
+                    1 for p in parts[parts.index(part) + 1:]
+                    if not (isinstance(p, ast.Constant)
+                            and p.value in (None, Ellipsis)))
+                while i < remaining:
+                    out.append(dims[i])
+                    i += 1
+                continue
+            if i >= len(dims):
+                return _arr(None, base.dtype)
+            if isinstance(part, ast.Slice):
+                if part.lower is None and part.upper is None \
+                        and part.step is None:
+                    out.append(dims[i])
+                else:
+                    out.append(UNKNOWN_DIM)
+                    if part.step is not None:
+                        contiguous = False
+                i += 1
+            else:
+                i += 1                   # int index: dim dropped
+        out.extend(dims[i:])
+        if not out:
+            return self._element_of(_arr((1,), base.dtype)) \
+                if len(base.shape) == len(parts) else _arr((), base.dtype)
+        return _arr(tuple(out), base.dtype, contiguous)
+
+    # -- calls -------------------------------------------------------------
+    def _eval_call(self, node: ast.Call) -> AV:
+        func = node.func
+        # numpy API by absolute name
+        full = self._numpy_name(func)
+        if full is not None:
+            return self._eval_numpy_call(node, full)
+        # builtins
+        if isinstance(func, ast.Name):
+            for arg in node.args:
+                self._eval(arg)
+            for kw in node.keywords:
+                self._eval(kw.value)
+            if func.id == "len":
+                return INT
+            if func.id in ("int", "round"):
+                return INT
+            if func.id == "float":
+                return FLOAT
+            if func.id == "bool":
+                return BOOL
+            if func.id == "str":
+                return STR
+            if func.id in ("list", "sorted"):
+                return LIST
+            return self._internal_summary(node)
+        # method call on an evaluated receiver
+        if isinstance(func, ast.Attribute):
+            base = self._eval(func.value)
+            if base.kind == "array":
+                return self._eval_array_method(node, base, func.attr)
+            if base.kind == "list":
+                if func.attr in ("append", "extend") and self._loops \
+                        and isinstance(func.value, ast.Name):
+                    self._loop_appended.add(func.value.id)
+                for arg in node.args:
+                    self._eval(arg)
+                return UNKNOWN
+            for arg in node.args:
+                self._eval(arg)
+            for kw in node.keywords:
+                self._eval(kw.value)
+            return self._internal_summary(node)
+        self._eval(func)
+        for arg in node.args:
+            self._eval(arg)
+        return UNKNOWN
+
+    def _internal_summary(self, node: ast.Call) -> AV:
+        site = self._site_map.get((node.lineno, node.col_offset))
+        if site is not None and site.kind == "internal" \
+                and site.callee is not None:
+            return self.analysis.summary(site.callee)
+        return UNKNOWN
+
+    def _kw(self, node: ast.Call, name: str) -> ast.expr | None:
+        for kw in node.keywords:
+            if kw.arg == name:
+                return kw.value
+        return None
+
+    def _axis_of(self, node: ast.Call, pos: int | None):
+        """(axis int or None, keepdims bool) from kwargs/positionals."""
+        axis_expr = self._kw(node, "axis")
+        if axis_expr is None and pos is not None and len(node.args) > pos:
+            axis_expr = node.args[pos]
+        keep_expr = self._kw(node, "keepdims")
+        keepdims = isinstance(keep_expr, ast.Constant) \
+            and keep_expr.value is True
+        if isinstance(axis_expr, ast.Constant) \
+                and isinstance(axis_expr.value, int) \
+                and not isinstance(axis_expr.value, bool):
+            return axis_expr.value, keepdims
+        if axis_expr is None:
+            return None, keepdims
+        return UNKNOWN_DIM, keepdims     # dynamic axis: unknown
+
+    def _reduce_av(self, node: ast.Call, base: AV, fname: str,
+                   axis, keepdims: bool) -> AV:
+        dtype = base.dtype
+        if fname in ("mean", "std", "var", "median"):
+            dtype = dtype if _is_float_dtype(dtype) else (
+                "float64" if dtype is not None else None)
+        if fname in ("argmin", "argmax"):
+            dtype = "int64"
+        if fname in ("all", "any"):
+            dtype = "bool"
+        if axis is None:
+            if fname == "count_nonzero":
+                return INT
+            if _is_float_dtype(dtype):
+                return AV("float", None, dtype)
+            if _is_int_dtype(dtype):
+                return AV("int", None, dtype)
+            if dtype == "bool":
+                return AV("bool", None, dtype)
+            return UNKNOWN
+        if base.shape is None or axis == UNKNOWN_DIM:
+            return _arr(None, dtype)
+        rank = len(base.shape)
+        if isinstance(axis, int) and (axis >= rank or axis < -rank):
+            self._fact(
+                "axis-out-of-rank", node,
+                f"axis={axis} out of range for inferred shape "
+                f"{_fmt_shape(base.shape)} (rank {rank})")
+            return _arr(None, dtype)
+        index = axis % rank if isinstance(axis, int) else 0
+        dims = list(base.shape)
+        if keepdims:
+            dims[index] = 1
+        else:
+            dims.pop(index)
+        return _arr(tuple(dims), dtype)
+
+    def _eval_array_method(self, node: ast.Call, base: AV,
+                           method: str) -> AV:
+        for arg in node.args:
+            if not isinstance(arg, (ast.Constant,)):
+                self._eval(arg)
+        for kw in node.keywords:
+            self._eval(kw.value)
+        if method == "astype":
+            target = node.args[0] if node.args else self._kw(node, "dtype")
+            canon, _sp = self._parse_dtype(target, node)
+            return _arr(base.shape, canon)
+        if method == "reshape":
+            if len(node.args) == 1 and isinstance(
+                    node.args[0], (ast.Tuple, ast.List)):
+                shape = self._shape_from_arg(node.args[0])
+            else:
+                shape = tuple(self._sym(a) for a in node.args)
+            shape = tuple(UNKNOWN_DIM if d == -1 else d for d in shape)
+            return _arr(shape or None, base.dtype)
+        if method == "ravel":
+            return _arr((UNKNOWN_DIM,), base.dtype)
+        if method == "flatten":
+            self._fact(
+                "flatten-copy", node,
+                f"ndarray.flatten() always copies (shape "
+                f"{_fmt_shape(base.shape)}); ravel() returns a view "
+                f"when possible")
+            return _arr((UNKNOWN_DIM,), base.dtype)
+        if method == "transpose":
+            shape = tuple(reversed(base.shape)) \
+                if base.shape is not None else None
+            return _arr(shape, base.dtype, contiguous=False)
+        if method == "copy":
+            return _arr(base.shape, base.dtype, contiguous=True)
+        if method in _METHOD_REDUCTIONS:
+            axis, keepdims = self._axis_of(node, pos=0)
+            return self._reduce_av(node, base, method, axis, keepdims)
+        if method == "item":
+            if self._loops:
+                self._fact(
+                    "item-in-loop", node,
+                    ".item() per element inside a loop; vectorize the "
+                    "surrounding computation instead")
+            return self._element_of(_arr((1,), base.dtype))
+        if method == "tolist":
+            return LIST
+        if method in ("dot",):
+            other = self._eval(node.args[0]) if node.args else UNKNOWN
+            return self._matmul_av(node, base, other)
+        if method in ("clip", "round", "cumsum", "cumprod", "view",
+                      "squeeze", "fill", "sort", "partition"):
+            return _arr(base.shape if method not in ("squeeze",) else None,
+                        base.dtype)
+        if method in ("argsort", "argpartition"):
+            return _arr(base.shape, "int64")
+        if method == "nonzero":
+            return UNKNOWN
+        return UNKNOWN
+
+    def _eval_numpy_call(self, node: ast.Call, full: str) -> AV:
+        name = full[len("numpy."):] if full != "numpy" else ""
+        arg_avs = [self._eval(a) for a in node.args]
+        for kw in node.keywords:
+            if kw.arg != "dtype":
+                self._eval(kw.value)
+        dtype_expr = self._kw(node, "dtype")
+        dtype, _spelling = self._parse_dtype(dtype_expr, node) \
+            if dtype_expr is not None else (None, None)
+
+        if name in ("float32", "float16", "single", "half"):
+            self._fact(
+                "narrow-float-dtype", node,
+                f"np.{name}(...) literal narrows the float64 "
+                f"bit-identity contract; use float64 (or waive with a "
+                f"reason)")
+            return AV("float", None, _DTYPE_CANON.get(name, name))
+        if name in ("float64", "double"):
+            return AV("float", None, "float64")
+        if name in ("int32", "int64", "intp"):
+            return AV("int", None, _DTYPE_CANON.get(name, name))
+        if name in ("int_", "intc"):
+            self._fact(
+                "platform-dtype", node,
+                f"platform-dependent dtype {name!r} (C-type width "
+                f"varies across platforms); pin an explicit width "
+                f"like int64")
+            return AV("int", None, _DTYPE_CANON.get(name, name))
+
+        if name in ("zeros", "ones", "empty"):
+            shape = self._shape_from_arg(node.args[0]) if node.args else None
+            self._check_loop_alloc(node, name)
+            return _arr(shape, dtype or "float64")
+        if name == "full":
+            shape = self._shape_from_arg(node.args[0]) if node.args else None
+            fill = arg_avs[1] if len(arg_avs) > 1 else UNKNOWN
+            if dtype is None:
+                dtype = fill.dtype or {"int": "int64", "float": "float64",
+                                       "bool": "bool"}.get(fill.kind)
+            self._check_loop_alloc(node, name)
+            return _arr(shape, dtype)
+        if name in ("zeros_like", "ones_like", "empty_like", "full_like"):
+            src = arg_avs[0] if arg_avs else UNKNOWN
+            self._check_loop_alloc(node, name)
+            return _arr(src.shape, dtype or src.dtype)
+        if name == "arange":
+            self._check_loop_alloc(node, name)
+            if dtype is None:
+                kinds = {av.kind for av in arg_avs}
+                dtype = "float64" if "float" in kinds else (
+                    "int64" if kinds <= {"int"} and kinds else None)
+            if len(node.args) == 1:
+                return _arr((self._sym(node.args[0]),), dtype)
+            return _arr((UNKNOWN_DIM,), dtype)
+        if name == "linspace":
+            self._check_loop_alloc(node, name)
+            num = self._sym(node.args[2]) if len(node.args) > 2 else 50
+            return _arr((num,), dtype or "float64")
+        if name in ("eye", "identity"):
+            self._check_loop_alloc(node, name)
+            n = self._sym(node.args[0]) if node.args else UNKNOWN_DIM
+            return _arr((n, n), dtype or "float64")
+        if name in ("array", "asarray", "ascontiguousarray", "asfarray"):
+            return self._eval_np_array(node, name, arg_avs, dtype)
+        if name == "frombuffer":
+            return _arr((UNKNOWN_DIM,), dtype)
+        if name == "where" and len(arg_avs) == 3:
+            shape, conflict = _broadcast(
+                arg_avs[1].shape if arg_avs[1].kind == "array" else (),
+                arg_avs[2].shape if arg_avs[2].kind == "array" else ())
+            return _arr(shape, _pair_dtype(
+                _effective_dtype(arg_avs[1]), _effective_dtype(arg_avs[2])))
+        if name in _ELEMENTWISE:
+            return self._eval_np_elementwise(node, name, arg_avs)
+        if name in _REDUCTIONS:
+            base = arg_avs[0] if arg_avs else UNKNOWN
+            if base.kind != "array":
+                return UNKNOWN
+            axis, keepdims = self._axis_of(node, pos=1)
+            return self._reduce_av(node, base, name, axis, keepdims)
+        if name in _SAME_SHAPE_FUNCS:
+            base = arg_avs[0] if arg_avs else UNKNOWN
+            out_dtype = "int64" if name.startswith("arg") else base.dtype
+            return _arr(base.shape, out_dtype)
+        if name in _GROWERS:
+            return self._eval_np_concat(node, name, arg_avs)
+        if name == "transpose":
+            base = arg_avs[0] if arg_avs else UNKNOWN
+            shape = tuple(reversed(base.shape)) \
+                if base.shape is not None else None
+            return _arr(shape, base.dtype, contiguous=False)
+        if name == "reshape" and len(node.args) >= 2:
+            base = arg_avs[0]
+            shape = self._shape_from_arg(node.args[1])
+            shape = tuple(UNKNOWN_DIM if d == -1 else d for d in shape)
+            return _arr(shape, base.dtype)
+        if name == "ravel":
+            base = arg_avs[0] if arg_avs else UNKNOWN
+            return _arr((UNKNOWN_DIM,), base.dtype)
+        if name in ("dot", "matmul") and len(arg_avs) >= 2:
+            return self._matmul_av(node, arg_avs[0], arg_avs[1])
+        if name in ("flatnonzero", "unique", "searchsorted"):
+            base = arg_avs[0] if arg_avs else UNKNOWN
+            out_dtype = "int64" if name != "unique" else base.dtype
+            return _arr((UNKNOWN_DIM,), out_dtype)
+        if name in ("array_equal", "allclose", "isclose", "any", "all"):
+            return BOOL
+        return UNKNOWN
+
+    def _eval_np_array(self, node: ast.Call, name: str,
+                       arg_avs: list[AV], dtype: str | None) -> AV:
+        if not node.args:
+            return UNKNOWN
+        arg = node.args[0]
+        src = arg_avs[0]
+        if src.kind == "array":
+            if name == "array" and self._kw(node, "copy") is None:
+                self._fact(
+                    "ndarray-recopy", node,
+                    f"np.array() over an existing ndarray (shape "
+                    f"{_fmt_shape(src.shape)}) always copies; use "
+                    f"np.asarray() or pass copy=False")
+            return _arr(src.shape, dtype or src.dtype)
+        if isinstance(arg, ast.Name) and arg.id in self._loop_appended \
+                and name in ("array", "asarray"):
+            self._fact(
+                "list-append-np-array", node,
+                f"np.{name}() over the list {arg.id!r} grown by "
+                f".append() in a loop; build the array with one "
+                f"vectorized expression instead")
+        if isinstance(arg, (ast.List, ast.Tuple)):
+            shape, inferred = self._literal_shape_dtype(arg)
+            return _arr(shape, dtype or inferred)
+        if src.kind == "list":
+            return _arr((UNKNOWN_DIM,), dtype)
+        return _arr(None, dtype)
+
+    def _literal_shape_dtype(self, node: ast.expr):
+        """Shape/dtype of a (possibly nested) list/tuple literal."""
+        if not isinstance(node, (ast.List, ast.Tuple)):
+            return None, None
+        n = len(node.elts)
+        if n and all(isinstance(el, (ast.List, ast.Tuple))
+                     for el in node.elts):
+            inner, dtype = self._literal_shape_dtype(node.elts[0])
+            if inner is not None:
+                return (n, *inner), dtype
+            return (n, UNKNOWN_DIM), dtype
+        kinds = set()
+        for el in node.elts:
+            if isinstance(el, ast.Constant):
+                if isinstance(el.value, bool):
+                    kinds.add("bool")
+                elif isinstance(el.value, int):
+                    kinds.add("int")
+                elif isinstance(el.value, float):
+                    kinds.add("float")
+                else:
+                    kinds.add("other")
+            else:
+                kinds.add("other")
+        if kinds == {"int"}:
+            return (n,), "int64"
+        if kinds <= {"int", "float"} and kinds:
+            return (n,), "float64"
+        if kinds == {"bool"}:
+            return (n,), "bool"
+        return (n,), None
+
+    def _eval_np_elementwise(self, node: ast.Call, name: str,
+                             arg_avs: list[AV]) -> AV:
+        arrays = [av for av in arg_avs if av.kind == "array"]
+        shape: tuple | None = ()
+        shown: list[AV] = []
+        for av in arrays:
+            new_shape, conflict = _broadcast(shape, av.shape)
+            if conflict is not None:
+                self._fact(
+                    "broadcast-mismatch", node,
+                    f"np.{name} operands of incompatible shapes "
+                    f"{_fmt_shape(shown[-1].shape)} and "
+                    f"{_fmt_shape(av.shape)}: dimension {conflict[0]} "
+                    f"vs {conflict[1]} cannot broadcast")
+            shape = new_shape
+            shown.append(av)
+        if not arrays:
+            return UNKNOWN
+        dtype: str | None = None
+        if len(arg_avs) >= 2 and name in (
+                "add", "subtract", "multiply", "divide", "true_divide",
+                "floor_divide", "power", "mod", "maximum", "minimum"):
+            da = _effective_dtype(arg_avs[0])
+            db = _effective_dtype(arg_avs[1])
+            dtype = _pair_dtype(da, db)
+            if name in ("divide", "true_divide"):
+                int_a = _is_int_dtype(da) or da == "weak-int"
+                int_b = _is_int_dtype(db) or db == "weak-int"
+                if (_is_int_dtype(da) or _is_int_dtype(db)) \
+                        and int_a and int_b:
+                    self._fact(
+                        "int-truediv", node,
+                        f"np.{name} of integer operands "
+                        f"({_fmt_dtype(da)} / {_fmt_dtype(db)}) yields "
+                        f"float64 implicitly; make the cast explicit")
+                if dtype is not None and not _is_float_dtype(dtype):
+                    dtype = "float64"
+        else:
+            dtype = arrays[0].dtype
+        if name in _FLOAT_FUNCS:
+            dtype = dtype if _is_float_dtype(dtype) else (
+                "float64" if dtype is not None else None)
+        if name in _BOOL_FUNCS:
+            dtype = "bool"
+        return _arr(shape, dtype)
+
+    def _eval_np_concat(self, node: ast.Call, name: str,
+                        arg_avs: list[AV]) -> AV:
+        parts: list[AV] = []
+        if node.args and isinstance(node.args[0], (ast.List, ast.Tuple)):
+            parts = [self._eval(el) for el in node.args[0].elts]
+        arrays = [p for p in parts if p.kind == "array"]
+        if not arrays or any(p.shape is None for p in arrays):
+            return _arr(None, None)
+        dtype = arrays[0].dtype
+        for p in arrays[1:]:
+            dtype = dtype if dtype == p.dtype else None
+        ranks = {len(p.shape) for p in arrays}
+        if name == "stack":
+            if len(ranks) == 1:
+                rank = ranks.pop()
+                return _arr((len(arrays), *([UNKNOWN_DIM] * rank))
+                            if rank else (len(arrays),), dtype)
+            return _arr(None, dtype)
+        if len(ranks) != 1:
+            return _arr(None, dtype)
+        rank = ranks.pop()
+        dims: list = []
+        for i in range(rank):
+            if i == 0 and name in ("concatenate", "append", "vstack"):
+                dims.append(UNKNOWN_DIM)
+                continue
+            cand = {p.shape[i] for p in arrays}
+            dims.append(cand.pop() if len(cand) == 1 else UNKNOWN_DIM)
+        if name == "hstack" and rank == 1:
+            dims = [UNKNOWN_DIM]
+        return _arr(tuple(dims), dtype)
+
+    def _check_loop_alloc(self, node: ast.Call, name: str) -> None:
+        """RA005: a constructor inside a loop with no loop-carried operand."""
+        if not self._loops:
+            return
+        variant = self._loop_variant()
+        exprs = list(node.args) + [kw.value for kw in node.keywords]
+        for expr in exprs:
+            for sub in ast.walk(expr):
+                if isinstance(sub, (ast.Call, ast.Attribute)):
+                    return               # could change per iteration
+                if isinstance(sub, ast.Name) and sub.id in variant:
+                    return
+        self._fact(
+            "alloc-in-loop", node,
+            f"np.{name}(...) has no loop-carried operand; hoist the "
+            f"allocation out of the loop and reuse the buffer")
+
+
+# --------------------------------------------------------------------------
+# whole-program analysis
+# --------------------------------------------------------------------------
+
+
+class ArrayAnalysis:
+    """Interpret every function once; hold facts, hot set, summaries."""
+
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+        self.hot, self.hot_roots = resolve_hot_functions(graph)
+        self.facts: list[Fact] = []
+        self._summaries: dict[str, AV] = {}
+        self._in_progress: set[str] = set()
+        self._outside_repro: dict[str, bool] = {}
+        for qname in sorted(graph.functions):
+            self.summary(qname)
+        self._hot_parents = graph.reach_parents(sorted(self.hot_roots))
+
+    def summary(self, qname: str) -> AV:
+        if qname in self._summaries:
+            return self._summaries[qname]
+        if qname in self._in_progress:
+            return UNKNOWN               # recursion: degrade
+        info = self.graph.functions.get(qname)
+        if info is None:
+            return UNKNOWN
+        self._in_progress.add(qname)
+        try:
+            out = _Interp(self, info).run()
+        finally:
+            self._in_progress.discard(qname)
+        self._summaries[qname] = out
+        return out
+
+    def is_hot(self, qname: str) -> bool:
+        if qname in self.hot:
+            return True
+        info = self.graph.functions.get(qname)
+        if info is None:
+            return False
+        cached = self._outside_repro.get(info.path)
+        if cached is None:
+            try:
+                resolved = Path(info.path).resolve()
+            except OSError:              # pragma: no cover
+                resolved = Path(info.path)
+            cached = not _in_repro_package(resolved)
+            self._outside_repro[info.path] = cached
+        return cached
+
+    def phase_of(self, qname: str) -> str:
+        return self.hot.get(qname, "local")
+
+    def chain_for(self, qname: str) -> tuple[str, ...]:
+        if qname in self._hot_parents:
+            return self.graph.chain_to(self._hot_parents, qname)
+        return ()
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "functions_interpreted": len(self._summaries),
+            "hot_functions": len(self.hot),
+            "hot_roots": len(self.hot_roots),
+            "facts": len(self.facts),
+        }
+
+
+# --------------------------------------------------------------------------
+# rules
+# --------------------------------------------------------------------------
+
+
+def _path_in_scope(path: str, scope: tuple[str, ...]) -> bool:
+    """Same semantics as runner.rule_applies: scoping narrows inside the
+    repro package only; everything outside it is fully in scope."""
+    try:
+        resolved = Path(path).resolve()
+    except OSError:                      # pragma: no cover
+        resolved = Path(path)
+    if not _in_repro_package(resolved):
+        return True
+    parts = resolved.parts
+    return any(entry in parts or entry == resolved.name for entry in scope)
+
+
+class ArrayRule:
+    """Base: translate interpreter facts into findings."""
+
+    rule_id: ClassVar[str]
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = ""
+    rationale: ClassVar[str] = ""
+    fact_kinds: ClassVar[frozenset[str]] = frozenset()
+    hot_only: ClassVar[bool] = False
+    scope: ClassVar[tuple[str, ...] | None] = None
+
+    def check(self, graph: CallGraph,
+              analysis: ArrayAnalysis) -> list[Finding]:
+        out: list[Finding] = []
+        for fact in analysis.facts:
+            if fact.kind not in self.fact_kinds:
+                continue
+            if self.scope is not None \
+                    and not _path_in_scope(fact.path, self.scope):
+                continue
+            if self.hot_only and not analysis.is_hot(fact.qname):
+                continue
+            chain = analysis.chain_for(fact.qname) if self.hot_only else ()
+            out.append(Finding(
+                path=fact.path, line=fact.line, col=fact.col,
+                rule_id=self.rule_id, message=fact.detail,
+                severity=self.severity, chain=chain,
+            ))
+        return out
+
+
+class DtypeStabilityRule(ArrayRule):
+    rule_id = "RA001"
+    severity = Severity.ERROR
+    summary = "dtype drift in a bit-identity module (narrow float, " \
+              "platform dtype, implicit int division)"
+    rationale = (
+        "The scalar/batch identity contract compares float64 bit "
+        "patterns; a float32 literal, a platform-width int, or an "
+        "implicit int-division promotion changes results silently."
+    )
+    fact_kinds = frozenset({
+        "narrow-float-dtype", "platform-dtype", "mixed-float-op",
+        "int-truediv",
+    })
+    scope = BIT_IDENTITY_SCOPE
+
+
+class ShapeConsistencyRule(ArrayRule):
+    rule_id = "RA002"
+    severity = Severity.ERROR
+    summary = "provably incompatible shapes (broadcast, matmul inner " \
+              "dim, axis out of inferred rank)"
+    rationale = (
+        "A shape error that only fires on one batch width escapes the "
+        "unit tests; the interpreter flags the cases that are wrong "
+        "for every input."
+    )
+    fact_kinds = frozenset({
+        "broadcast-mismatch", "matmul-mismatch", "axis-out-of-rank",
+    })
+
+
+class HiddenCopyRule(ArrayRule):
+    rule_id = "RA003"
+    severity = Severity.WARNING
+    summary = "hidden copy in a hot path (flatten, np.array on an " \
+              "ndarray, fancy index per iteration, non-contiguous @)"
+    rationale = (
+        "Each hidden copy is O(n) memory traffic inside the surfaces "
+        "PhaseProfiler times; the fix is usually a one-token change "
+        "(ravel, asarray, hoist)."
+    )
+    fact_kinds = frozenset({
+        "flatten-copy", "ndarray-recopy", "fancy-index-loop",
+        "noncontig-matmul",
+    })
+    hot_only = True
+
+
+class ElementLoopRule(ArrayRule):
+    rule_id = "RA004"
+    severity = Severity.WARNING
+    summary = "python-level element loop over an ndarray in a hot path"
+    rationale = (
+        "A per-element python loop caps throughput at ~1e6 ops/s "
+        "against the >=50k evals/s target; vectorize or waive with "
+        "the reason the call-out must stay scalar."
+    )
+    fact_kinds = frozenset({
+        "iter-ndarray", "comprehension-over-ndarray", "item-in-loop",
+        "list-append-np-array",
+    })
+    hot_only = True
+
+
+class LoopAllocRule(ArrayRule):
+    rule_id = "RA005"
+    severity = Severity.WARNING
+    summary = "loop-invariant allocation or quadratic concatenate " \
+              "growth in a hot path"
+    rationale = (
+        "Allocating the same buffer every iteration (or growing an "
+        "accumulator by concatenation — the anti-pattern the "
+        "capacity-doubling GP buffers replaced) turns O(n) loops "
+        "into allocator-bound or O(n^2) ones."
+    )
+    fact_kinds = frozenset({"alloc-in-loop", "concat-growth"})
+    hot_only = True
+
+
+#: expensive-by-construction calls for RA006 (prefix and exact matches)
+_EXPENSIVE_PREFIXES = ("numpy.linalg.", "scipy.")
+_EXPENSIVE_CALLS = frozenset({
+    "numpy.sort", "numpy.argsort", "numpy.partition",
+    "numpy.argpartition", "numpy.lexsort", "numpy.concatenate",
+    "numpy.stack", "numpy.vstack", "numpy.hstack", "numpy.einsum",
+    "numpy.dot", "numpy.matmul", "numpy.tensordot", "numpy.unique",
+    "numpy.histogram",
+})
+_IO_CALLS = frozenset({
+    "builtins.open", "time.sleep", "pickle.dump", "pickle.dumps",
+    "pickle.load", "pickle.loads", "json.dump", "json.load",
+    "subprocess.run", "subprocess.check_call", "subprocess.check_output",
+    "os.replace", "os.fsync", "shutil.copy", "shutil.copyfile",
+})
+
+
+def _expensive_label(external: str) -> str | None:
+    if external in _IO_CALLS:
+        return f"{external} (blocking IO)"
+    if external in _EXPENSIVE_CALLS:
+        return external
+    for prefix in _EXPENSIVE_PREFIXES:
+        if external.startswith(prefix):
+            return external
+    return None
+
+
+class LockedArrayWorkRule(ArrayRule):
+    rule_id = "RA006"
+    severity = Severity.WARNING
+    summary = "expensive array work or blocking IO under a held lock"
+    rationale = (
+        "A sort/linalg/IO call under a lock serializes every other "
+        "shard/tenant behind one critical section; compute outside, "
+        "publish under the lock."
+    )
+    fact_kinds = frozenset()
+
+    def check(self, graph: CallGraph,
+              analysis: ArrayAnalysis) -> list[Finding]:
+        model = build_lock_model(graph)
+        out: list[Finding] = []
+        for qname in sorted(graph.functions):
+            for site in graph.sites_of(qname):
+                if site.kind != "external" or site.external is None:
+                    continue
+                label = _expensive_label(site.external)
+                if label is None:
+                    continue
+                held, nested = model.held_at_site(site)
+                eff = model.effective_held(qname, held, nested)
+                if not eff:
+                    continue
+                locks = ", ".join(sorted(eff))
+                out.append(Finding(
+                    path=site.path, line=site.line, col=site.col,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"expensive call {label} while holding "
+                        f"{locks}; hoist it out of the critical "
+                        f"section and publish the result under the "
+                        f"lock"
+                    ),
+                    severity=self.severity,
+                ))
+        return out
+
+
+# --------------------------------------------------------------------------
+# driver
+# --------------------------------------------------------------------------
+
+ALL_ARRAY_RULES: tuple[type[ArrayRule], ...] = (
+    DtypeStabilityRule,
+    ShapeConsistencyRule,
+    HiddenCopyRule,
+    ElementLoopRule,
+    LoopAllocRule,
+    LockedArrayWorkRule,
+)
+
+
+def get_array_rules(ids: Iterable[str] | None = None
+                    ) -> list[type[ArrayRule]]:
+    if ids is None:
+        return list(ALL_ARRAY_RULES)
+    wanted = {i.upper() for i in ids}
+    known = {r.rule_id for r in ALL_ARRAY_RULES}
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(
+            f"unknown array rule id(s): {', '.join(sorted(unknown))}"
+        )
+    return [r for r in ALL_ARRAY_RULES if r.rule_id in wanted]
+
+
+def array_rule_catalogue() -> list[dict[str, str]]:
+    return [
+        {
+            "rule": rule.rule_id,
+            "severity": rule.severity.value,
+            "summary": rule.summary,
+            "rationale": rule.rationale,
+        }
+        for rule in ALL_ARRAY_RULES
+    ]
+
+
+@dataclass
+class ArraysReport:
+    """Outcome of one array pass: findings + graph/interpreter stats."""
+
+    result: LintResult
+    stats: dict[str, object] = field(default_factory=dict)
+
+
+def run_array_rules(graph: CallGraph,
+                    rules: Sequence[type[ArrayRule]] = ALL_ARRAY_RULES
+                    ) -> tuple[list[Finding], ArrayAnalysis]:
+    analysis = ArrayAnalysis(graph)
+    findings: list[Finding] = []
+    for rule_cls in rules:
+        findings.extend(rule_cls().check(graph, analysis))
+    return findings, analysis
+
+
+def lint_arrays(paths: Iterable[str],
+                rules: Sequence[type[ArrayRule]] = ALL_ARRAY_RULES,
+                graph: CallGraph | None = None) -> ArraysReport:
+    """Build the call graph over ``paths`` and run the RA rules.
+
+    Suppressions apply at the line each finding lands on, with the
+    same ``# staticcheck: ignore[RAxxx]`` markers as every other pass.
+    """
+    if graph is None:
+        graph = build_call_graph(paths)
+    findings, analysis = run_array_rules(graph, rules)
+    result = LintResult(n_files=len(graph.modules))
+    suppression_cache: dict[str, object] = {}
+    for finding in findings:
+        suppressions = suppression_cache.get(finding.path)
+        if suppressions is None:
+            mod = graph.module_of_path(finding.path)
+            source = mod.source if mod is not None else ""
+            suppressions = parse_suppressions(source)
+            suppression_cache[finding.path] = suppressions
+        if suppressions.silences(finding.line, finding.rule_id):
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+    result.findings.sort(key=Finding.sort_key)
+    result.suppressed.sort(key=Finding.sort_key)
+    stats = graph.resolution_stats()
+    stats["arrays"] = analysis.stats()
+    return ArraysReport(result=result, stats=stats)

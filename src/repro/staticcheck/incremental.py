@@ -12,13 +12,16 @@ sections:
   serve stale chains.
 * ``tree.concurrency`` — the RC pass's findings and lock-model stats,
   same tree key (lock inference is whole-program too).
+* ``tree.arrays`` — the RA pass's findings and interpreter stats, same
+  tree key (hot-path closure and summaries are whole-program).
 * ``tree.domain`` — the config-space validator's findings, same key.
 
-When both the flow and concurrency passes miss the cache, they share
-one call-graph build.
+When two or more of the flow/concurrency/arrays passes miss the cache,
+they share one call-graph build.
 
 The cache **signature** folds in the cache format version, the active
-rule ids (per-file, flow, and concurrency), the scope switch, and a
+rule ids (per-file, flow, concurrency, and arrays), the scope switch,
+and a
 digest of the staticcheck package's own sources — editing any rule
 (``concurrency.py`` included) invalidates every entry, so a stale
 linter can never replay old verdicts.
@@ -37,6 +40,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from .arrays import ArrayRule, lint_arrays
 from .concurrency import ConcurrencyRule, lint_concurrency
 from .flow import ALL_FLOW_RULES, FlowRule, lint_flow
 from .graph import CallGraph, build_call_graph
@@ -79,12 +83,14 @@ def _self_digest() -> str:
 def _signature(per_file_rules: Sequence[type[Rule]],
                flow_rules: Sequence[type[FlowRule]] | None,
                concurrency_rules: Sequence[type[ConcurrencyRule]] | None,
+               array_rules: Sequence[type[ArrayRule]] | None,
                respect_scopes: bool, run_domain: bool) -> str:
     parts = [
         f"v{_CACHE_VERSION}",
         ",".join(sorted(r.rule_id for r in per_file_rules)),
         ",".join(sorted(r.rule_id for r in (flow_rules or ()))),
         ",".join(sorted(r.rule_id for r in (concurrency_rules or ()))),
+        ",".join(sorted(r.rule_id for r in (array_rules or ()))),
         f"scopes={respect_scopes}",
         f"domain={run_domain}",
         _self_digest(),
@@ -124,6 +130,7 @@ def incremental_check(
     per_file_rules: Sequence[type[Rule]] = ALL_RULES,
     flow_rules: Sequence[type[FlowRule]] | None = None,
     concurrency_rules: Sequence[type[ConcurrencyRule]] | None = None,
+    array_rules: Sequence[type[ArrayRule]] | None = None,
     respect_scopes: bool = True,
     run_domain: bool = False,
     cache_path: str | Path = CACHE_FILE,
@@ -137,7 +144,8 @@ def incremental_check(
     """
     cache_path = Path(cache_path)
     signature = _signature(per_file_rules, flow_rules, concurrency_rules,
-                           respect_scopes, run_domain) if use_cache else ""
+                           array_rules, respect_scopes,
+                           run_domain) if use_cache else ""
     cache = _load_cache(cache_path, signature) if use_cache else {}
     cached_files: dict = cache.get("files", {})
 
@@ -181,8 +189,8 @@ def incremental_check(
     stats: dict[str, object] | None = None
     new_tree_section: dict[str, object] = {"hash": tree}
 
-    #: one call graph shared by the flow and concurrency passes when
-    #: both miss the cache — building it twice would double the parse
+    #: one call graph shared by the flow/concurrency/arrays passes when
+    #: more than one misses the cache — rebuilding would re-parse the tree
     graph: CallGraph | None = None
 
     if flow_rules is not None:
@@ -195,7 +203,8 @@ def incremental_check(
             stats = flow_entry.get("stats")
         else:
             tree_cached = False
-            if graph is None and concurrency_rules is not None:
+            if graph is None and (concurrency_rules is not None
+                                  or array_rules is not None):
                 graph = build_call_graph([str(p) for p in files])
             report = lint_flow([str(p) for p in files], rules=flow_rules,
                                graph=graph)
@@ -219,6 +228,8 @@ def incremental_check(
             conc_stats = conc_entry.get("stats")
         else:
             tree_cached = False
+            if graph is None and array_rules is not None:
+                graph = build_call_graph([str(p) for p in files])
             conc_report = lint_concurrency(
                 [str(p) for p in files], rules=concurrency_rules,
                 graph=graph,
@@ -234,6 +245,31 @@ def incremental_check(
         result.extend(conc_result)
         if isinstance(conc_stats, dict):
             stats = {**(stats or {}), **conc_stats}
+
+    if array_rules is not None:
+        if tree_cached and "arrays" in cached_tree:
+            arr_entry = cached_tree["arrays"]
+            arr_result = LintResult(
+                findings=_load_findings(arr_entry.get("findings", [])),
+                suppressed=_load_findings(arr_entry.get("suppressed", [])),
+            )
+            arr_stats = arr_entry.get("stats")
+        else:
+            tree_cached = False
+            arr_report = lint_arrays(
+                [str(p) for p in files], rules=array_rules, graph=graph,
+            )
+            arr_result = arr_report.result
+            arr_result.n_files = 0      # files already counted above
+            arr_stats = arr_report.stats
+        new_tree_section["arrays"] = {
+            "findings": _dump_findings(arr_result.findings),
+            "suppressed": _dump_findings(arr_result.suppressed),
+            "stats": arr_stats,
+        }
+        result.extend(arr_result)
+        if isinstance(arr_stats, dict):
+            stats = {**(stats or {}), **arr_stats}
 
     if run_domain:
         if tree_cached and "domain" in cached_tree:

@@ -15,6 +15,7 @@ from __future__ import annotations
 import json
 
 from .model import LintResult, Severity
+from .waivers import reason_for, waiver_footer
 
 __all__ = ["render_text", "render_json"]
 
@@ -34,6 +35,15 @@ def _concurrency_line(conc: dict[str, object]) -> str:
         f"{conc.get('classes_with_locks', 0)} class(es) + "
         f"{conc.get('module_locks', 0)} module global(s), "
         f"{conc.get('assumed_locked_methods', 0)} assumed-locked method(s)"
+    )
+
+
+def _arrays_line(arr: dict[str, object]) -> str:
+    return (
+        f"array interp: {arr.get('functions_interpreted', 0)} "
+        f"function(s), {arr.get('hot_functions', 0)} hot over "
+        f"{arr.get('hot_roots', 0)} root(s), "
+        f"{arr.get('facts', 0)} fact(s)"
     )
 
 
@@ -65,6 +75,12 @@ def render_text(result: LintResult, verbose: bool = False,
         conc = stats.get("concurrency")
         if isinstance(conc, dict):
             lines.append(_concurrency_line(conc))
+        arr = stats.get("arrays")
+        if isinstance(arr, dict):
+            lines.append(_arrays_line(arr))
+    # inventory-backed suppressions render their reasons — the audit
+    # trail travels with the report, not just with the gate tests
+    lines.extend(waiver_footer(result.sorted_suppressed()))
     return "\n".join(lines)
 
 
@@ -82,6 +98,16 @@ def render_json(result: LintResult,
             "total": result.n_suppressed,
             "by_rule": result.suppressed_by_rule(),
             "locations": [f.to_dict() for f in result.sorted_suppressed()],
+            "waivers": [
+                {
+                    "rule": f.rule_id,
+                    "path": f.path,
+                    "line": f.line,
+                    "reason": reason,
+                }
+                for f in result.sorted_suppressed()
+                if (reason := reason_for(f.rule_id, f.path)) is not None
+            ],
         },
     }
     if stats is not None:

@@ -1,0 +1,127 @@
+"""SARIF 2.1.0 renderer, so CI findings upload to code scanning.
+
+One run, one driver (``repro.staticcheck``), every family's rules in
+the tool component — the ``ruleIndex`` of each result points into the
+same :func:`repro.staticcheck.registry.rule_registry` table that serves
+``--list-rules``, so the SARIF rule metadata can never diverge from the
+CLI's.
+
+Suppressed findings are emitted as results carrying an ``inSource``
+suppression object (the GitHub UI hides them but keeps the audit
+trail), mirroring the JSON reporter's locations list.  Call chains ride
+in each result's property bag.  Output is deterministic
+(``sort_keys`` + the model's stable finding sort) so the incremental
+byte-identity guarantees extend to SARIF.
+
+:func:`findings_from_sarif` inverts the renderer — the round-trip test
+feeds one through the other and requires the exact ``Finding`` lists
+back.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .model import Finding, LintResult, Severity
+from .registry import rule_registry
+
+__all__ = ["render_sarif", "findings_from_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _result(finding: Finding, rule_index: dict[str, int],
+            suppressed: bool) -> dict[str, object]:
+    out: dict[str, object] = {
+        "ruleId": finding.rule_id,
+        "level": finding.severity.value,
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                "region": {
+                    "startLine": finding.line,
+                    # SARIF columns are 1-based; the AST's are 0-based
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+        "properties": {"chain": list(finding.chain)},
+    }
+    index = rule_index.get(finding.rule_id)
+    if index is not None:
+        out["ruleIndex"] = index
+    if suppressed:
+        out["suppressions"] = [{"kind": "inSource"}]
+    return out
+
+
+def render_sarif(result: LintResult,
+                 stats: dict[str, object] | None = None) -> str:
+    """The whole report as one SARIF 2.1.0 run."""
+    rules = [
+        {
+            "id": entry.rule_id,
+            "shortDescription": {"text": entry.summary},
+            "fullDescription": {"text": entry.rationale},
+            "defaultConfiguration": {"level": entry.severity},
+            "properties": {"family": entry.family},
+        }
+        for entry in rule_registry()
+    ]
+    rule_index = {row["id"]: i for i, row in enumerate(rules)}
+    results = [
+        _result(f, rule_index, suppressed=False)
+        for f in result.sorted_findings()
+    ] + [
+        _result(f, rule_index, suppressed=True)
+        for f in result.sorted_suppressed()
+    ]
+    run: dict[str, object] = {
+        "tool": {
+            "driver": {
+                "name": "repro.staticcheck",
+                "informationUri":
+                    "https://github.com/repro/repro#static-checks",
+                "rules": rules,
+            },
+        },
+        "results": results,
+        "properties": {"files_checked": result.n_files},
+    }
+    if stats is not None:
+        run["properties"]["call_graph"] = stats  # type: ignore[index]
+    payload = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [run],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def findings_from_sarif(text: str) -> tuple[list[Finding], list[Finding]]:
+    """Invert :func:`render_sarif`: ``(findings, suppressed)``."""
+    payload = json.loads(text)
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    for run in payload.get("runs", []):
+        for row in run.get("results", []):
+            loc = row["locations"][0]["physicalLocation"]
+            region = loc["region"]
+            finding = Finding(
+                path=loc["artifactLocation"]["uri"],
+                line=region["startLine"],
+                col=region["startColumn"] - 1,
+                rule_id=row["ruleId"],
+                message=row["message"]["text"],
+                severity=Severity(row["level"]),
+                chain=tuple(row.get("properties", {}).get("chain", ())),
+            )
+            if row.get("suppressions"):
+                suppressed.append(finding)
+            else:
+                findings.append(finding)
+    return findings, suppressed

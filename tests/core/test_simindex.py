@@ -222,6 +222,52 @@ class TestLogTail:
         assert log.tail(start) == log.snapshot()[start:]
 
 
+def test_index_arrays_keep_float64_signatures():
+    """Dtype pins on the index's array surfaces (runtime counterpart of
+    staticcheck's RA001): mean signatures and candidate signatures stay
+    float64, so distance identity with the scan never depends on a
+    narrower accumulator sneaking into the shard arrays."""
+    rng = np.random.default_rng(9)
+    log = HistoryLog(segment_records=4, compact_after=2)
+    store = HistoryStore(log)
+    cfg = Configuration({})
+    for i in range(24):
+        log.append_new(
+            tenant=f"t{i % 3}", workload_label=f"w{i % 2}", input_mb=100.0,
+            cluster="c", config=cfg, runtime_s=float(rng.random() * 10 + 1),
+            success=True, signature=rng.random(N_FEATURES),
+        )
+    for key in store.workload_keys():
+        mean = store.mean_signature(*key)
+        assert mean.dtype == np.float64, key
+        assert mean.shape == (N_FEATURES,)
+    target = rng.random(N_FEATURES)
+    for candidate in find_similar_workloads(store, target, k=4):
+        assert candidate.signature.dtype == np.float64
+        assert isinstance(candidate.distance, float)
+
+
+def test_signature_index_internal_arrays_are_float64():
+    """The index's backing matrices themselves, not just query results.
+
+    White-box on purpose: ``find_similar`` compares distances computed
+    from ``_means``, so the accumulator dtype is load-bearing for the
+    bit-identity suite above even though it never escapes the class."""
+    log = HistoryLog()
+    store = HistoryStore(log)
+    cfg = Configuration({})
+    for i in range(8):
+        log.append_new(tenant="t", workload_label=f"w{i}", input_mb=1.0,
+                       cluster="c", config=cfg, runtime_s=1.0, success=True,
+                       signature=np.full(N_FEATURES, float(i)))
+    index = store.index()
+    index.sync()
+    assert signature_index(log) is index
+    assert index._means.dtype == np.float64
+    assert index._best_runtimes.dtype == np.float64
+    assert index._counts.dtype == np.int64
+
+
 def test_signature_distance_still_euclidean():
     a = np.arange(N_FEATURES, dtype=float)
     b = a + 2.0

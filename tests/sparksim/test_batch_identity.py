@@ -157,6 +157,68 @@ def test_batch_of_one_and_empty():
     _assert_batch_identity(sim, Sort(), 512.0, [config], [TYPICAL], [9])
 
 
+def test_batch_arrays_keep_stable_dtypes():
+    """The batch path's internal arrays stay float64/int64/bool end to
+    end (the runtime counterpart of staticcheck's RA001): bit-identity
+    with the scalar model must not rest on accidental promotion, so a
+    column quietly landing in float32 or a platform-dependent int is a
+    bug even while the identity tests above still pass on this machine.
+    """
+    from repro.config.constraints import grant_resources
+    from repro.sparksim.costmodel import (
+        build_batch_inputs,
+        build_plan_arrays,
+        compute_plan_cost_batch,
+    )
+    from repro.sparksim.executor import ExecutorModel
+
+    rng = np.random.default_rng(11)
+    configs, grants = [], []
+    while len(configs) < 4:      # granted candidates only, like run_batch
+        config = SPACE.sample_configuration(rng)
+        grant = grant_resources(config, CLUSTER)
+        if grant.executors >= 1:
+            configs.append(config)
+            grants.append(grant)
+    executors = [ExecutorModel.from_config(c) for c in configs]
+    envs = [ENVS[i % len(ENVS)] for i in range(4)]
+
+    sim = SparkSimulator()
+    compiled = sim.compile_workload(Sort(), 1024.0)
+    b = build_batch_inputs(configs, CLUSTER, grants, executors, envs)
+    plan = build_plan_arrays(compiled)
+    cost = compute_plan_cost_batch(plan, b, sim.calibration)
+
+    for name in ("locality_wait", "remote_frac", "flush_base",
+                 "fetch_efficiency", "per_block_s", "heap_mb",
+                 "unified_mb", "immune_mb", "offheap_mb", "disk_share",
+                 "net_share", "env_cpu", "cache_footprint",
+                 "cache_read_cpu", "cache_capacity"):
+        assert getattr(b, name).dtype == np.float64, name
+    for name in ("parallelism", "executors", "requested", "concurrent",
+                 "bypass_threshold"):
+        assert getattr(b, name).dtype == np.int64, name
+    for name in ("shuffle_compress", "spill_compress", "speculation",
+                 "cache_miss_to_disk"):
+        assert getattr(b, name).dtype == np.bool_, name
+
+    assert plan.hint.dtype == np.int64
+    for name in ("input_mb", "cached_read_mb", "shuffle_read_mb",
+                 "shuffle_write_mb", "output_mb_eff", "cpu_s",
+                 "unspillable", "collect_mb", "cached_mb",
+                 "recompute_cpu", "recompute_io"):
+        assert getattr(plan, name).dtype == np.float64, name
+    for name in ("has_input", "has_cached", "has_shuffle_read",
+                 "has_shuffle_write", "has_output"):
+        assert getattr(plan, name).dtype == np.bool_, name
+
+    assert cost.num_tasks.dtype == np.int64
+    assert cost.oom.dtype == np.bool_
+    for name in ("cpu_s", "disk_s", "net_s", "gc_s", "idle_s", "total_s",
+                 "driver_s", "spilled_mb", "spill_mb_total"):
+        assert getattr(cost, name).dtype == np.float64, name
+
+
 def test_histories_identical_under_engine_batching():
     """End to end: identical observation histories through the engine."""
     from repro.engine import EngineObjective, EvaluationEngine

@@ -1,0 +1,27 @@
+"""RA001 fixture: dtype drift in a bit-identity-style kernel."""
+
+import numpy as np
+
+
+def make_weights(n: int) -> np.ndarray:
+    return np.zeros(n, dtype=np.float32)
+
+
+def make_index(n: int) -> np.ndarray:
+    return np.arange(n, dtype=np.int_)
+
+
+def mix(n: int) -> np.ndarray:
+    hi = np.ones(n)
+    lo = np.empty(n, dtype="float32")
+    return hi + lo
+
+
+def ratio(n: int) -> np.ndarray:
+    counts = np.arange(n)
+    totals = np.arange(n)
+    return counts / totals
+
+
+def shrink(a: np.ndarray) -> np.ndarray:
+    return a.astype(np.float32)

@@ -1,0 +1,20 @@
+"""RA002 fixture: provably incompatible shapes."""
+
+import numpy as np
+
+
+def bad_broadcast() -> np.ndarray:
+    a = np.zeros((3, 8))
+    b = np.ones(4)
+    return a + b
+
+
+def bad_axis() -> np.ndarray:
+    m = np.zeros((3, 8))
+    return m.sum(axis=2)
+
+
+def bad_matmul() -> np.ndarray:
+    a = np.zeros((3, 8))
+    b = np.zeros((5, 2))
+    return a @ b

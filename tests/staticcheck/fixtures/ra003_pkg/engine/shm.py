@@ -1,0 +1,26 @@
+"""RA003 fixture: hidden copies on a hot-table path.
+
+The module rides the ``engine.shm`` suffix in the hot-path table, so
+``decode_configs`` is a root and the helpers are hot via the closure —
+their findings carry call chains back to the root.
+"""
+
+import numpy as np
+
+
+def _reduce(block: np.ndarray) -> np.ndarray:
+    flat = block.flatten()
+    return np.array(flat)
+
+
+def _project(mat: np.ndarray, vec: np.ndarray) -> np.ndarray:
+    return mat.T @ vec
+
+
+def decode_configs(block: np.ndarray, rows: np.ndarray, n: int) -> list:
+    out = []
+    for _ in range(n):
+        picked = block[rows]
+        out.append(_reduce(picked))
+        out.append(_project(block, rows))
+    return out

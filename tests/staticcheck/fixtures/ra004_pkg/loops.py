@@ -1,0 +1,28 @@
+"""RA004 fixture: python-level element loops over ndarrays."""
+
+import numpy as np
+
+
+def total(xs: np.ndarray) -> float:
+    acc = 0.0
+    for x in xs:
+        acc = acc + x
+    return acc
+
+
+def squares(xs: np.ndarray) -> np.ndarray:
+    return np.array([v * v for v in xs])
+
+
+def first_items(xs: np.ndarray, n: int) -> list:
+    out = []
+    for i in range(n):
+        out.append(xs[i].item())
+    return out
+
+
+def collect(n: int) -> np.ndarray:
+    parts = []
+    for i in range(n):
+        parts.append(float(i))
+    return np.array(parts)

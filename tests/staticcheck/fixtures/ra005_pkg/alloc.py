@@ -1,0 +1,26 @@
+"""RA005 fixture: loop-invariant allocation and quadratic growth."""
+
+import numpy as np
+
+
+def repeated_scratch(n: int) -> float:
+    acc = 0.0
+    for _ in range(n):
+        scratch = np.zeros(16)
+        acc = acc + float(scratch[0])
+    return acc
+
+
+def growing(n: int, noise: np.ndarray) -> np.ndarray:
+    acc = np.zeros(1)
+    for _ in range(n):
+        acc = np.concatenate([acc, noise])
+    return acc
+
+
+def per_step(n: int) -> float:
+    acc = 0.0
+    for i in range(n):
+        row = np.full(4, float(i))
+        acc = acc + float(row[0])
+    return acc

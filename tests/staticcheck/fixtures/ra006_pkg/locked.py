@@ -1,0 +1,20 @@
+"""RA006 fixture: expensive array work and IO under a held lock."""
+
+import threading
+
+import numpy as np
+
+
+class Index:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._block = np.zeros((8, 4))
+
+    def ranked(self) -> np.ndarray:
+        with self._lock:
+            return np.argsort(self._block.sum(axis=1))
+
+    def snapshot(self, path: str) -> None:
+        with self._lock:
+            with open(path, "w") as fh:
+                fh.write("ok")

@@ -8,9 +8,11 @@ location, instead of surfacing later as a flaky hypothesis failure.
 from pathlib import Path
 
 from repro.staticcheck import (
+    expected_by_rule,
     lint_concurrency,
     lint_flow,
     lint_paths,
+    reason_for,
     validate_default_domain,
 )
 
@@ -33,23 +35,24 @@ def test_repo_flow_clean():
     """The interprocedural gate: RF001-RF005 over the whole call graph.
 
     Every genuine violation must be either fixed or carry a per-line
-    ``# staticcheck: ignore[RFxxx]`` with a justifying comment; the
-    known suppressions are pinned here so silent growth of the waiver
-    list fails the gate: the config_fingerprint memo (RF002), the
-    rngpool placeholder bit generator whose state is overwritten before
-    any draw (RF001), the deliberately worker-local shm attachment
-    cache (RF003), and the two best-effort teardowns — broken-pool
-    close and resource-tracker unregister (RF004).
+    ``# staticcheck: ignore[RFxxx]`` with a justifying comment AND a
+    reasoned row in :mod:`repro.staticcheck.waivers` — the single
+    inventory this gate reads its expectations from, so the marker,
+    the reason, and the pin can never drift apart.
     """
     report = lint_flow([str(PACKAGE)])
     pretty = "\n".join(f.format() for f in report.result.sorted_findings())
     assert report.result.findings == [], f"flow violations:\n{pretty}"
-    assert report.result.suppressed_by_rule() == {
-        "RF001": 1, "RF002": 1, "RF003": 1, "RF004": 2,
-    }, (
-        "the reviewed suppression inventory changed; update this pin "
-        "only alongside a justified per-line ignore"
+    assert report.result.suppressed_by_rule() == expected_by_rule("RF"), (
+        "the reviewed suppression inventory changed; update "
+        "repro/staticcheck/waivers.py only alongside a justified "
+        "per-line ignore"
     )
+    for finding in report.result.suppressed:
+        assert reason_for(finding.rule_id, finding.path) is not None, (
+            f"suppressed {finding.rule_id} at {finding.path}:"
+            f"{finding.line} has no waiver inventory row"
+        )
 
 
 def test_repo_concurrency_clean():
@@ -60,15 +63,18 @@ def test_repo_concurrency_clean():
     sat outside the ``with self._lock`` every other writer takes — a
     lost-update race under shard concurrency, since fixed).  The
     suppression inventory is pinned at **empty**: the first RC waiver
-    must be added here alongside its justified per-line ignore.
+    must land in repro/staticcheck/waivers.py alongside its justified
+    per-line ignore.
     """
     report = lint_concurrency([str(PACKAGE)])
     pretty = "\n".join(f.format() for f in report.result.sorted_findings())
     assert report.result.findings == [], f"concurrency violations:\n{pretty}"
-    assert report.result.suppressed_by_rule() == {}, (
-        "the RC suppression inventory is no longer empty; update this "
-        "pin only alongside a justified per-line ignore"
+    assert report.result.suppressed_by_rule() == expected_by_rule("RC"), (
+        "the RC suppression inventory changed; update "
+        "repro/staticcheck/waivers.py only alongside a justified "
+        "per-line ignore"
     )
+    assert expected_by_rule("RC") == {}
 
 
 def test_repo_lock_model_covers_the_service_layer():

@@ -1,0 +1,97 @@
+"""SARIF renderer: schema shape, rule coverage, and exact round-trip."""
+
+import json
+from pathlib import Path
+
+from repro.staticcheck import (
+    get_concurrency_rules,
+    get_flow_rules,
+    incremental_check,
+    lint_arrays,
+    lint_paths,
+    rule_registry,
+)
+from repro.staticcheck.sarif import findings_from_sarif, render_sarif
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _mixed_result(tmp_path):
+    """One result with findings AND suppressions across families."""
+    outcome = incremental_check(
+        [
+            str(FIXTURES / "rs001_unseeded_rng.py"),
+            str(FIXTURES / "ra001_pkg"),
+            str(FIXTURES / "rf001_pkg"),
+            str(FIXTURES / "rc001_pkg"),
+        ],
+        flow_rules=get_flow_rules(),
+        concurrency_rules=get_concurrency_rules(),
+        array_rules=None,
+        run_domain=False,
+        cache_path=tmp_path / "cache.json",
+    )
+    return outcome.result
+
+
+def test_sarif_document_shape(tmp_path):
+    result = _mixed_result(tmp_path)
+    payload = json.loads(render_sarif(result))
+    assert payload["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in payload["$schema"]
+    (run,) = payload["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro.staticcheck"
+    # the tool component carries every family's rules, straight from
+    # the registry that serves --list-rules
+    ids = {rule["id"] for rule in driver["rules"]}
+    for prefix in ("RS", "RD", "RF", "RC", "RA"):
+        assert any(i.startswith(prefix) for i in ids), prefix
+    assert len(run["results"]) >= 3
+    for row in run["results"]:
+        region = row["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1       # SARIF is 1-based
+        assert row["ruleId"] == driver["rules"][row["ruleIndex"]]["id"]
+
+
+def test_sarif_levels_match_registry():
+    by_id = {e.rule_id: e.severity for e in rule_registry()}
+    report = lint_arrays([str(FIXTURES / "ra001_pkg")])
+    payload = json.loads(render_sarif(report.result))
+    for row in payload["runs"][0]["results"]:
+        assert row["level"] == by_id[row["ruleId"]]
+
+
+def test_sarif_round_trip_is_exact(tmp_path):
+    # include a suppressed finding so the inSource path round-trips too
+    pkg = tmp_path / "sup_pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text(
+        "import numpy as np\n"
+        "def a(n: int):\n"
+        "    return np.zeros(n, dtype=np.float32)\n"
+        "def b(n: int):\n"
+        "    return np.arange(n, dtype=np.int_)"
+        "  # staticcheck: ignore[RA001] -- fixture\n"
+    )
+    report = lint_arrays([str(pkg)])
+    assert report.result.findings and report.result.suppressed
+    text = render_sarif(report.result, stats=report.stats)
+    findings, suppressed = findings_from_sarif(text)
+    assert findings == report.result.sorted_findings()
+    assert suppressed == report.result.sorted_suppressed()
+
+
+def test_sarif_round_trip_preserves_chains():
+    report = lint_arrays([str(FIXTURES / "ra003_pkg")])
+    chained = [f for f in report.result.findings if f.chain]
+    assert chained, "ra003 fixture should produce chained findings"
+    findings, _ = findings_from_sarif(render_sarif(report.result))
+    assert findings == report.result.sorted_findings()
+
+
+def test_sarif_output_is_deterministic():
+    result = lint_paths([str(FIXTURES / "rs001_unseeded_rng.py")])
+    assert render_sarif(result) == render_sarif(result)
